@@ -1,0 +1,124 @@
+// Command dtmsim runs one benchmark under one DTM policy and prints a run
+// summary (and optionally a per-interval temperature trace) — the basic
+// workhorse for exploring the simulator.
+//
+// Usage:
+//
+//	dtmsim -bench gzip -policy hyb [-insts N] [-ideal] [-gate G] [-duty D]
+//
+// Policies: none, dvs, dvs-pi, fg, fg-fixed, clockgate, pi-hyb, hyb,
+// local, proactive-dvs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybriddtm/internal/core"
+	"hybriddtm/internal/dtm"
+	"hybriddtm/internal/dvfs"
+	"hybriddtm/internal/experiments"
+	"hybriddtm/internal/floorplan"
+	"hybriddtm/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dtmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bench := flag.String("bench", "gzip", "benchmark name")
+	policy := flag.String("policy", "hyb", "DTM policy: none, dvs, dvs-pi, fg, fg-fixed, clockgate, pi-hyb, hyb, local, proactive-dvs")
+	insts := flag.Uint64("insts", 10_000_000, "instructions to simulate")
+	ideal := flag.Bool("ideal", false, "idealized DVS (no pipeline stall on switches)")
+	gate := flag.Float64("gate", 1.0/3, "fixed fetch-gating fraction (fg-fixed, hyb, pi-hyb crossover)")
+	vmin := flag.Float64("vmin", 0.85, "DVS low voltage as a fraction of nominal")
+	steps := flag.Int("steps", 5, "DVS ladder steps for dvs-pi")
+	flag.Parse()
+
+	prof, ok := trace.ByName(*bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (have %s)", *bench,
+			strings.Join(trace.BenchmarkNames(), ", "))
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.DVSStall = !*ideal
+	cfg.VMinFrac = *vmin
+
+	ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
+	if err != nil {
+		return err
+	}
+	var pol dtm.Policy
+	switch *policy {
+	case "none":
+		pol = dtm.None()
+	case "dvs":
+		pol, err = dtm.DVSBinary(cfg.Trigger, ladder)
+	case "dvs-pi":
+		var l *dvfs.Ladder
+		l, err = dvfs.NewLadder(cfg.Tech, *steps, cfg.VMinFrac)
+		if err == nil {
+			cfg.Ladder = l
+			pol, err = dtm.DVSPI(cfg.Trigger, l)
+		}
+	case "fg":
+		pol, err = dtm.FetchGating(cfg.Trigger, dtm.DefaultFGGain, 2.0/3)
+	case "fg-fixed":
+		pol, err = dtm.FixedFG(cfg.Trigger, *gate)
+	case "clockgate":
+		pol = dtm.ClockGating(cfg.Trigger)
+	case "pi-hyb":
+		pol, err = dtm.PIHyb(cfg.Trigger, dtm.DefaultFGGain, *gate, ladder)
+	case "hyb":
+		pol, err = dtm.Hyb(cfg.Trigger, 0.4, *gate, ladder)
+	case "local":
+		pol, err = dtm.LocalToggling(cfg.Trigger, dtm.DefaultFGGain, 2.0/3,
+			experiments.EV6Domains(floorplan.EV6()))
+	case "proactive-dvs":
+		var inner dtm.Policy
+		inner, err = dtm.DVSBinary(cfg.Trigger, ladder)
+		if err == nil {
+			pol, err = dtm.Proactive(inner, 1.5e-3)
+		}
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	if err != nil {
+		return err
+	}
+
+	sim, err := core.New(cfg, prof, pol)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(*insts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("benchmark        %s\n", res.Benchmark)
+	fmt.Printf("policy           %s\n", res.Policy)
+	fmt.Printf("instructions     %d\n", res.Instructions)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("wall time        %.3f ms\n", res.WallTime*1e3)
+	fmt.Printf("IPC              %.3f\n", res.AvgIPC)
+	fmt.Printf("avg power        %.1f W\n", res.AvgPower)
+	fmt.Printf("energy           %.3f J\n", res.EnergyJ)
+	fmt.Printf("max temp         %.2f °C (block %s)\n", res.MaxTemp, res.HottestBlock)
+	fmt.Printf("above trigger    %.1f %% of time\n", 100*res.TimeAboveTrigger/res.WallTime)
+	fmt.Printf("emergencies      %.3f ms above %.0f °C\n", res.EmergencyTime*1e3, cfg.EmergencyThreshold)
+	fmt.Printf("avg gate         %.3f\n", res.AvgGate)
+	fmt.Printf("time at low V    %.1f %%\n", 100*res.TimeAtLowV/res.WallTime)
+	fmt.Printf("DVS switches     %d\n", res.DVSSwitches)
+	if res.ClockStopTime > 0 {
+		fmt.Printf("clock stopped    %.1f %%\n", 100*res.ClockStopTime/res.WallTime)
+	}
+	return nil
+}

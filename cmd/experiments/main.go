@@ -1,0 +1,168 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation (§4.1 studies, Figures 3a, 3b, 4a, 4b, and the §3 benchmark
+// characterization). Output is the same rows/series the paper reports;
+// EXPERIMENTS.md records the comparison against the published results.
+//
+// Usage:
+//
+//	experiments [-insts N] [-bench name] [-v] [-fig id ...]
+//
+// where id is one of: bench, 3a, 3a-ideal, 3b, 4a, 4b, steps, vfloor,
+// cross, all. Default: all. On a single core the full suite at the default
+// instruction budget takes tens of minutes; use -insts to scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hybriddtm/internal/experiments"
+	"hybriddtm/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	insts := flag.Uint64("insts", 10_000_000, "instructions simulated per run")
+	bench := flag.String("bench", "", "restrict to one benchmark (default: all nine)")
+	verbose := flag.Bool("v", false, "log each simulation run")
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, id := range ids {
+		if id == "all" {
+			for _, x := range []string{"bench", "3a", "3a-ideal", "3b", "4a", "4b", "steps", "vfloor", "cross", "local", "merit"} {
+				want[x] = true
+			}
+			continue
+		}
+		want[id] = true
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Instructions = *insts
+	if *bench != "" {
+		p, ok := trace.ByName(*bench)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (have %s)", *bench,
+				strings.Join(trace.BenchmarkNames(), ", "))
+		}
+		opts.Benchmarks = []trace.Profile{p}
+	}
+	var log io.Writer
+	if *verbose {
+		log = os.Stderr
+	}
+	opts.Log = log
+
+	r, err := experiments.NewRunner(opts)
+	if err != nil {
+		return err
+	}
+
+	section := func(id string) bool {
+		if !want[id] {
+			return false
+		}
+		fmt.Printf("==== %s ====\n", id)
+		return true
+	}
+
+	if section("bench") {
+		rows, err := experiments.Characterise(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCharacterise(rows))
+	}
+	if section("3a") {
+		res, err := experiments.Fig3a(r, true)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if section("3a-ideal") {
+		res, err := experiments.Fig3a(r, false)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if section("3b") {
+		res, err := experiments.Fig3b(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if section("4a") {
+		res, err := experiments.Fig4(r, true)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if section("4b") {
+		res, err := experiments.Fig4(r, false)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if section("steps") {
+		for _, stall := range []bool{true, false} {
+			res, err := experiments.StepSizeStudy(r, stall)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+	}
+	if section("vfloor") {
+		res, err := experiments.VoltageFloor(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if section("cross") {
+		res, err := experiments.CrossoverInvariance(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if section("local") {
+		res, err := experiments.LocalVsFG(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if section("merit") {
+		for _, name := range []string{"gzip", "gcc", "art"} {
+			if *bench != "" && name != *bench {
+				continue
+			}
+			res, err := experiments.MeritStudy(opts, name)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+	}
+	return nil
+}

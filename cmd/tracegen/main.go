@@ -1,0 +1,95 @@
+// Command tracegen records a synthetic benchmark's instruction stream to a
+// trace file (or inspects an existing one), decoupling workload generation
+// from simulation: frozen traces make experiments reproducible across
+// generator changes and let externally produced traces drive the CPU
+// model.
+//
+// Usage:
+//
+//	tracegen -bench gzip -n 1000000 -o gzip.trc
+//	tracegen -inspect gzip.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybriddtm/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bench := flag.String("bench", "gzip", "benchmark profile to record")
+	n := flag.Uint64("n", 1_000_000, "instructions to record")
+	out := flag.String("o", "", "output trace file (default <bench>.trc)")
+	inspect := flag.String("inspect", "", "inspect an existing trace file instead of recording")
+	flag.Parse()
+
+	if *inspect != "" {
+		return inspectTrace(*inspect)
+	}
+
+	prof, ok := trace.ByName(*bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (have %s)", *bench,
+			strings.Join(trace.BenchmarkNames(), ", "))
+	}
+	path := *out
+	if path == "" {
+		path = prof.Name + ".trc"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteTrace(f, prof, *n); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d instructions of %s to %s\n", *n, prof.Name, path)
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	counts := map[trace.Class]uint64{}
+	var taken, branches uint64
+	var in trace.Inst
+	for i := uint64(0); i < r.Count(); i++ {
+		r.Next(&in)
+		counts[in.Class]++
+		if in.Class == trace.Branch {
+			branches++
+			if in.Taken {
+				taken++
+			}
+		}
+	}
+	fmt.Printf("trace %s: %d instructions (%s)\n", path, r.Count(), r.Name())
+	for c := trace.IntALU; c <= trace.Branch; c++ {
+		fmt.Printf("  %-7s %6.2f%%\n", c, 100*float64(counts[c])/float64(r.Count()))
+	}
+	if branches > 0 {
+		fmt.Printf("  taken branches: %.1f%%\n", 100*float64(taken)/float64(branches))
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Quickstart: simulate one hot SPEC-like workload under the paper's hybrid
+// DTM policy and compare it against unmanaged execution.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybriddtm/internal/core"
+	"hybriddtm/internal/dtm"
+	"hybriddtm/internal/dvfs"
+	"hybriddtm/internal/trace"
+)
+
+func main() {
+	const insts = 5_000_000
+
+	// The configuration bundles the paper's whole setup: a 21264-like core
+	// at 0.13 µm / 1.3 V / 3 GHz, a Wattch-style power model, a
+	// HotSpot-style thermal package with 1.0 K/W convection, sensors with
+	// ±1 °C precision at 10 kHz, an 85 °C emergency threshold and an
+	// 81.8 °C trigger.
+	cfg := core.DefaultConfig()
+
+	// gzip is one of the nine hottest SPEC CPU2000 profiles shipped in
+	// internal/trace.
+	prof, ok := trace.ByName("gzip")
+	if !ok {
+		log.Fatal("gzip profile missing")
+	}
+
+	// Baseline: no DTM. On this low-cost package the workload overheats.
+	base, err := runOnce(cfg, prof, nil, insts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("no DTM:  max temp %.1f °C, %.2f ms in thermal violation\n",
+		base.MaxTemp, base.EmergencyTime*1e3)
+
+	// Hybrid DTM: fixed fetch gating (duty 5: one fetch cycle in five
+	// gated, where ILP still hides it) between the trigger and a second
+	// threshold 0.4 °C higher, binary DVS above it. Two comparators, no
+	// feedback control.
+	ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hyb, err := dtm.Hyb(cfg.Trigger, 0.4, 1.0/5, ladder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	managed, err := runOnce(cfg, prof, hyb, insts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	slowdown := (managed.WallTime / float64(managed.Instructions)) /
+		(base.WallTime / float64(base.Instructions))
+	fmt.Printf("hybrid:  max temp %.1f °C, %.2f ms in violation, slowdown %.1f%%\n",
+		managed.MaxTemp, managed.EmergencyTime*1e3, 100*(slowdown-1))
+	fmt.Printf("         %.0f%% of time at low voltage, average gating %.2f, %d DVS switches\n",
+		100*managed.TimeAtLowV/managed.WallTime, managed.AvgGate, managed.DVSSwitches)
+}
+
+func runOnce(cfg core.Config, prof trace.Profile, pol dtm.Policy, insts uint64) (core.Result, error) {
+	sim, err := core.New(cfg, prof, pol)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sim.Run(insts)
+}

@@ -1,0 +1,3 @@
+module hybriddtm
+
+go 1.22

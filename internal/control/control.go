@@ -1,0 +1,127 @@
+// Package control provides the small feedback-control toolkit the adaptive
+// DTM policies use: a PI controller with clamped output and anti-windup
+// (used to choose DVS settings, §4.1), a pure integral controller (used for
+// the fetch-gating duty cycle, which needs no proportional term because the
+// plant itself integrates), and a single-pole low-pass filter (used to damp
+// DVS setting increases so boundary oscillation does not thrash the
+// voltage, §4.1). The paper notes this hardware is minimal: a few
+// registers, an adder and a multiplier.
+package control
+
+import (
+	"fmt"
+	"math"
+)
+
+// PI is a proportional-integral controller with output clamping and
+// conditional-integration anti-windup.
+type PI struct {
+	Kp, Ki float64
+	// Output clamp; OutMin must be < OutMax.
+	OutMin, OutMax float64
+
+	integral float64
+}
+
+// NewPI builds a PI controller.
+func NewPI(kp, ki, outMin, outMax float64) (*PI, error) {
+	if math.IsNaN(kp) || math.IsNaN(ki) {
+		return nil, fmt.Errorf("control: NaN gain")
+	}
+	if !(outMin < outMax) {
+		return nil, fmt.Errorf("control: output clamp [%v, %v] empty", outMin, outMax)
+	}
+	return &PI{Kp: kp, Ki: ki, OutMin: outMin, OutMax: outMax}, nil
+}
+
+// Update advances the controller by dt seconds with the given error
+// (setpoint − measurement) and returns the clamped output.
+func (c *PI) Update(err, dt float64) float64 {
+	raw := c.Kp*err + c.Ki*(c.integral+err*dt)
+	out := raw
+	if out > c.OutMax {
+		out = c.OutMax
+	} else if out < c.OutMin {
+		out = c.OutMin
+	}
+	// Anti-windup: only integrate when not pushing further into the clamp.
+	if raw == out || (raw > c.OutMax && err < 0) || (raw < c.OutMin && err > 0) {
+		c.integral += err * dt
+	}
+	return out
+}
+
+// Reset clears the integral state.
+func (c *PI) Reset() { c.integral = 0 }
+
+// Integrator is a pure integral controller with output clamping; the paper
+// uses one to set the fetch-gating duty cycle (§4.1).
+type Integrator struct {
+	Ki             float64
+	OutMin, OutMax float64
+
+	state float64
+}
+
+// NewIntegrator builds an integral controller whose output starts at
+// OutMin.
+func NewIntegrator(ki, outMin, outMax float64) (*Integrator, error) {
+	if math.IsNaN(ki) {
+		return nil, fmt.Errorf("control: NaN gain")
+	}
+	if !(outMin < outMax) {
+		return nil, fmt.Errorf("control: output clamp [%v, %v] empty", outMin, outMax)
+	}
+	return &Integrator{Ki: ki, OutMin: outMin, OutMax: outMax, state: outMin}, nil
+}
+
+// Update integrates the error over dt and returns the clamped output.
+func (c *Integrator) Update(err, dt float64) float64 {
+	c.state += c.Ki * err * dt
+	if c.state > c.OutMax {
+		c.state = c.OutMax
+	} else if c.state < c.OutMin {
+		c.state = c.OutMin
+	}
+	return c.state
+}
+
+// Output returns the current output without advancing the controller.
+func (c *Integrator) Output() float64 { return c.state }
+
+// Reset returns the output to OutMin.
+func (c *Integrator) Reset() { c.state = c.OutMin }
+
+// LowPass is a single-pole exponential filter y += α(x − y). The first
+// sample initializes the state directly.
+type LowPass struct {
+	Alpha float64
+
+	y     float64
+	valid bool
+}
+
+// NewLowPass builds a filter with smoothing factor α in (0, 1].
+func NewLowPass(alpha float64) (*LowPass, error) {
+	if !(alpha > 0) || alpha > 1 {
+		return nil, fmt.Errorf("control: low-pass alpha %v outside (0,1]", alpha)
+	}
+	return &LowPass{Alpha: alpha}, nil
+}
+
+// Update feeds a sample and returns the filtered value.
+func (f *LowPass) Update(x float64) float64 {
+	if !f.valid {
+		f.y = x
+		f.valid = true
+		return x
+	}
+	f.y += f.Alpha * (x - f.y)
+	return f.y
+}
+
+// Value returns the current filtered value (0 before any sample).
+func (f *LowPass) Value() float64 { return f.y }
+
+// Reset discards the filter state.
+func (f *LowPass) Reset() { f.y, f.valid = 0, false }

@@ -1,0 +1,202 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPIValidation(t *testing.T) {
+	if _, err := NewPI(math.NaN(), 1, 0, 1); err == nil {
+		t.Error("accepted NaN gain")
+	}
+	if _, err := NewPI(1, 1, 1, 1); err == nil {
+		t.Error("accepted empty clamp range")
+	}
+}
+
+// TestPIRegulatesFirstOrderPlant closes the loop around a first-order plant
+// dy/dt = (u − y)/τ and checks convergence to the setpoint — the same
+// structure as a DTM controller regulating temperature through a power
+// knob.
+func TestPIRegulatesFirstOrderPlant(t *testing.T) {
+	c, err := NewPI(2.0, 4.0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		setpoint = 5.0
+		tau      = 0.5
+		dt       = 0.01
+	)
+	y := 0.0
+	for i := 0; i < 5000; i++ {
+		u := c.Update(setpoint-y, dt)
+		y += dt * (u - y) / tau
+	}
+	if math.Abs(y-setpoint) > 0.01 {
+		t.Errorf("plant settled at %v, want %v", y, setpoint)
+	}
+}
+
+func TestPIClampsOutput(t *testing.T) {
+	c, err := NewPI(100, 0, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := c.Update(10, 0.1); out != 1 {
+		t.Errorf("output %v, want clamped to 1", out)
+	}
+	if out := c.Update(-10, 0.1); out != -1 {
+		t.Errorf("output %v, want clamped to -1", out)
+	}
+}
+
+func TestPIAntiWindup(t *testing.T) {
+	// Hold a large positive error against the clamp for a long time, then
+	// flip the error: without anti-windup the integral would take ages to
+	// unwind; with it, the output must leave the clamp promptly.
+	c, err := NewPI(0.5, 1.0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		c.Update(5, 0.01) // saturates at 1
+	}
+	steps := 0
+	for ; steps < 100; steps++ {
+		if c.Update(-5, 0.01) < 1 {
+			break
+		}
+	}
+	if steps >= 100 {
+		t.Error("integral wind-up: output stuck at clamp after error reversal")
+	}
+}
+
+func TestPIReset(t *testing.T) {
+	c, err := NewPI(0, 1, -10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Update(1, 1)
+	c.Update(1, 1)
+	c.Reset()
+	if out := c.Update(0, 1); out != 0 {
+		t.Errorf("after Reset, zero error gives %v, want 0", out)
+	}
+}
+
+func TestIntegratorValidation(t *testing.T) {
+	if _, err := NewIntegrator(math.NaN(), 0, 1); err == nil {
+		t.Error("accepted NaN gain")
+	}
+	if _, err := NewIntegrator(1, 2, 1); err == nil {
+		t.Error("accepted inverted clamp")
+	}
+}
+
+func TestIntegratorRampsAndClamps(t *testing.T) {
+	c, err := NewIntegrator(1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Output() != 0 {
+		t.Errorf("initial output %v, want OutMin", c.Output())
+	}
+	out := 0.0
+	for i := 0; i < 5; i++ {
+		out = c.Update(0.1, 1)
+	}
+	if math.Abs(out-0.5) > 1e-12 {
+		t.Errorf("after 5 steps of +0.1: %v, want 0.5", out)
+	}
+	for i := 0; i < 100; i++ {
+		out = c.Update(1, 1)
+	}
+	if out != 1 {
+		t.Errorf("output %v, want clamped at 1", out)
+	}
+	// Negative error unwinds immediately (state clamped, not wound up).
+	if out = c.Update(-0.25, 1); math.Abs(out-0.75) > 1e-12 {
+		t.Errorf("unwind step gave %v, want 0.75", out)
+	}
+	c.Reset()
+	if c.Output() != 0 {
+		t.Error("Reset did not return to OutMin")
+	}
+}
+
+func TestLowPassValidation(t *testing.T) {
+	if _, err := NewLowPass(0); err == nil {
+		t.Error("accepted alpha 0")
+	}
+	if _, err := NewLowPass(1.5); err == nil {
+		t.Error("accepted alpha > 1")
+	}
+}
+
+func TestLowPassFirstSamplePassesThrough(t *testing.T) {
+	f, err := NewLowPass(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Update(42); got != 42 {
+		t.Errorf("first sample %v, want 42", got)
+	}
+}
+
+func TestLowPassConvergesToConstant(t *testing.T) {
+	f, err := NewLowPass(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Update(0)
+	var y float64
+	for i := 0; i < 100; i++ {
+		y = f.Update(10)
+	}
+	if math.Abs(y-10) > 1e-6 {
+		t.Errorf("filter settled at %v, want 10", y)
+	}
+}
+
+func TestLowPassSmoothsSteps(t *testing.T) {
+	f, err := NewLowPass(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Update(0)
+	y := f.Update(10)
+	if y >= 2 {
+		t.Errorf("filter jumped to %v on a step; want gradual rise", y)
+	}
+	if y <= 0 {
+		t.Errorf("filter did not move toward the step: %v", y)
+	}
+}
+
+func TestLowPassAlphaOneTracksInput(t *testing.T) {
+	f, err := NewLowPass(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Update(5)
+	if got := f.Update(-3); got != -3 {
+		t.Errorf("alpha=1 filter returned %v, want -3", got)
+	}
+}
+
+func TestLowPassReset(t *testing.T) {
+	f, err := NewLowPass(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Update(100)
+	f.Reset()
+	if f.Value() != 0 {
+		t.Error("Reset did not clear value")
+	}
+	if got := f.Update(7); got != 7 {
+		t.Errorf("first sample after Reset %v, want 7", got)
+	}
+}

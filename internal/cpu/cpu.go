@@ -1,0 +1,668 @@
+// Package cpu implements a cycle-level out-of-order superscalar core in the
+// style of the Alpha 21264 the paper models (§3): 4-wide fetch through an
+// instruction fetch queue, register rename (modeled as a last-writer
+// scoreboard over the architectural registers with the ROB bounding the
+// window), separate integer / floating-point / memory issue queues with
+// oldest-first select, pipelined functional units, a two-ported data cache
+// with MSHR-limited misses, and in-order commit.
+//
+// The core is trace-driven (see internal/trace) but timing-faithful: branch
+// mispredictions stall and redirect the front end through a real tournament
+// predictor, instruction and data accesses go through real caches, and
+// fetch gating — the paper's ILP DTM technique — gates the fetch stage
+// (I-cache access and branch prediction included) on a deterministic duty
+// pattern. Whether gating costs performance is decided by the pipeline:
+// while the fetch queue and window keep the issue stages fed, gated fetch
+// cycles are hidden by ILP, which is the architectural phenomenon the
+// hybrid DTM policy exploits (§4.2).
+package cpu
+
+import (
+	"fmt"
+
+	"hybriddtm/internal/bpred"
+	"hybriddtm/internal/cache"
+	"hybriddtm/internal/trace"
+)
+
+// Config sizes the pipeline. DefaultConfig gives the 21264-like machine
+// used throughout the paper's experiments.
+type Config struct {
+	FetchWidth    int
+	DispatchWidth int
+	IntIssueWidth int
+	FPIssueWidth  int
+	MemIssueWidth int
+	CommitWidth   int
+
+	ROBSize  int
+	IFQSize  int
+	IntQSize int
+	FPQSize  int
+	LSQSize  int
+
+	MispredictPenalty int // front-end redirect cycles after resolution
+
+	IntMulLatency int
+	FPAddLatency  int
+	FPMulLatency  int
+
+	MSHRs int // maximum outstanding data-cache misses
+
+	BPred  bpred.Config
+	Caches cache.HierarchyConfig
+}
+
+// DefaultConfig returns the 21264-like configuration: 4-wide fetch and
+// dispatch, 4 integer / 2 FP / 2 memory issue ports, 80-entry window.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:    4,
+		DispatchWidth: 4,
+		IntIssueWidth: 4,
+		FPIssueWidth:  2,
+		MemIssueWidth: 2,
+		CommitWidth:   6,
+
+		ROBSize:  80,
+		IFQSize:  16,
+		IntQSize: 20,
+		FPQSize:  15,
+		LSQSize:  32,
+
+		MispredictPenalty: 7,
+
+		IntMulLatency: 7,
+		FPAddLatency:  4,
+		FPMulLatency:  4,
+
+		MSHRs: 8,
+
+		BPred:  bpred.DefaultConfig(),
+		Caches: cache.DefaultHierarchy(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	pos := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth}, {"DispatchWidth", c.DispatchWidth},
+		{"IntIssueWidth", c.IntIssueWidth}, {"FPIssueWidth", c.FPIssueWidth},
+		{"MemIssueWidth", c.MemIssueWidth}, {"CommitWidth", c.CommitWidth},
+		{"ROBSize", c.ROBSize}, {"IFQSize", c.IFQSize},
+		{"IntQSize", c.IntQSize}, {"FPQSize", c.FPQSize}, {"LSQSize", c.LSQSize},
+		{"IntMulLatency", c.IntMulLatency}, {"FPAddLatency", c.FPAddLatency},
+		{"FPMulLatency", c.FPMulLatency}, {"MSHRs", c.MSHRs},
+	}
+	for _, p := range pos {
+		if p.v <= 0 {
+			return fmt.Errorf("cpu: %s = %d must be positive", p.name, p.v)
+		}
+	}
+	if c.MispredictPenalty < 0 {
+		return fmt.Errorf("cpu: negative mispredict penalty %d", c.MispredictPenalty)
+	}
+	return nil
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	class      trace.Class
+	dst        uint8
+	dep1, dep2 uint64 // writer seq+1; 0 = no dependence
+	addr       uint64
+	issued     bool
+	doneAt     uint64
+	mispredict bool
+	// readyAt memoizes the cycle at which both sources are available (0 =
+	// not yet computable because a producer has not issued). The issue
+	// stages re-check waiting instructions every cycle, so avoiding the
+	// producer-chasing on the hot path matters.
+	readyAt uint64
+}
+
+// ifqEntry is a fetched, not-yet-dispatched instruction.
+type ifqEntry struct {
+	inst       trace.Inst
+	mispredict bool
+}
+
+// fetch-block states.
+const (
+	blockNone         = iota
+	blockWaitDispatch // mispredicted branch fetched but not yet in the ROB
+	blockWaitResolve  // waiting for the branch at blockSeq to execute
+)
+
+// Core is the simulated processor. Not safe for concurrent use; run one
+// Core per goroutine.
+type Core struct {
+	cfg Config
+	gen trace.Source
+	bp  *bpred.Predictor
+	mem *cache.Hierarchy
+
+	cycle      uint64
+	head, tail uint64 // ROB sequence numbers: [head, tail) in flight
+	rob        []robEntry
+
+	regWriter [64]uint64 // seq+1 of last writer per architectural register
+
+	ifq      []ifqEntry
+	ifqHead  int
+	ifqCount int
+
+	intWait, fpWait, memWait []uint64 // un-issued seqs per queue, oldest first
+
+	gateAcc float64 // fetch-gating duty accumulator
+	// Per-domain issue gating accumulators (local toggling, §2): a gated
+	// cycle suppresses that domain's issue stage.
+	intGateAcc, fpGateAcc, memGateAcc float64
+
+	fetchStallUntil uint64 // I-cache miss in service
+	blockState      int
+	blockSeq        uint64
+
+	pending      trace.Inst // lookahead instruction from the trace
+	pendingValid bool
+
+	mshr []uint64 // completion cycles of outstanding data misses
+
+	memLatency int // off-chip latency in cycles at the current frequency
+
+	committed uint64
+}
+
+// New builds a core running the given trace source (a synthetic generator
+// or a recorded-trace reader).
+func New(cfg Config, gen trace.Source) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil {
+		return nil, fmt.Errorf("cpu: nil trace generator")
+	}
+	bp, err := bpred.New(cfg.BPred)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := cache.NewHierarchy(cfg.Caches)
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		cfg:        cfg,
+		gen:        gen,
+		bp:         bp,
+		mem:        mem,
+		rob:        make([]robEntry, cfg.ROBSize),
+		ifq:        make([]ifqEntry, cfg.IFQSize),
+		intWait:    make([]uint64, 0, cfg.IntQSize),
+		fpWait:     make([]uint64, 0, cfg.FPQSize),
+		memWait:    make([]uint64, 0, cfg.LSQSize),
+		mshr:       make([]uint64, 0, cfg.MSHRs),
+		memLatency: cfg.Caches.MemLatency,
+	}, nil
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Predictor exposes the branch predictor (for statistics).
+func (c *Core) Predictor() *bpred.Predictor { return c.bp }
+
+// Caches exposes the cache hierarchy (for statistics).
+func (c *Core) Caches() *cache.Hierarchy { return c.mem }
+
+// Cycle returns the total cycles simulated.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Committed returns the total instructions committed.
+func (c *Core) Committed() uint64 { return c.committed }
+
+// IPC returns lifetime committed instructions per cycle.
+func (c *Core) IPC() float64 {
+	if c.cycle == 0 {
+		return 0
+	}
+	return float64(c.committed) / float64(c.cycle)
+}
+
+// SetFrequencyRatio adjusts the off-chip memory latency for the current
+// clock, f/fNominal. On-chip latencies are expressed in cycles and scale
+// with the clock automatically; main-memory time is fixed in nanoseconds,
+// so at a lower clock it spans proportionally fewer cycles — one of the
+// reasons DVS hurts memory-bound code less.
+func (c *Core) SetFrequencyRatio(ratio float64) error {
+	if !(ratio > 0) || ratio > 1 {
+		return fmt.Errorf("cpu: frequency ratio %v outside (0,1]", ratio)
+	}
+	lat := int(float64(c.cfg.Caches.MemLatency)*ratio + 0.5)
+	if lat < 1 {
+		lat = 1
+	}
+	c.memLatency = lat
+	return nil
+}
+
+// Gates bundles the gating fractions applied while running: Fetch is the
+// paper's fetch-gating knob; Int, FP and Mem gate the corresponding issue
+// stages (local toggling, §2 — the technique the paper found to confer
+// little advantage over fetch gating; implemented here so that comparison
+// can be reproduced).
+type Gates struct {
+	Fetch, Int, FP, Mem float64
+}
+
+func (g Gates) validate() error {
+	for _, v := range []float64{g.Fetch, g.Int, g.FP, g.Mem} {
+		if v != 0 && (v < 0 || v >= 1) {
+			return fmt.Errorf("cpu: gate fraction %v outside [0,1)", v)
+		}
+	}
+	return nil
+}
+
+// Run simulates n cycles with the given fetch-gating fraction (0 = no
+// gating, 0.5 = fetch gated every other cycle…), accumulating activity
+// counts into act (which may be nil) and returning instructions committed
+// during this call.
+func (c *Core) Run(n uint64, gateFrac float64, act *Activity) (uint64, error) {
+	return c.RunGated(n, Gates{Fetch: gateFrac}, act)
+}
+
+// RunGated is Run with the full set of gating knobs.
+func (c *Core) RunGated(n uint64, gates Gates, act *Activity) (uint64, error) {
+	if err := gates.validate(); err != nil {
+		return 0, err
+	}
+	var sink Activity
+	if act == nil {
+		act = &sink
+	}
+	start := c.committed
+	for i := uint64(0); i < n; i++ {
+		c.cycle++
+		c.commit(act)
+		c.issue(gates, act)
+		c.dispatch(act)
+		c.fetch(gates.Fetch, act)
+	}
+	act.Cycles += n
+	return c.committed - start, nil
+}
+
+// gateTick advances a duty accumulator and reports whether this cycle is
+// gated.
+func gateTick(acc *float64, frac float64) bool {
+	*acc += frac
+	if *acc >= 1 {
+		*acc--
+		return true
+	}
+	return false
+}
+
+// commit retires completed instructions in order.
+func (c *Core) commit(act *Activity) {
+	for n := 0; n < c.cfg.CommitWidth && c.head < c.tail; n++ {
+		e := &c.rob[c.head%uint64(c.cfg.ROBSize)]
+		if !e.issued || e.doneAt > c.cycle {
+			return
+		}
+		c.head++
+		c.committed++
+		act.Committed++
+	}
+}
+
+// ready reports whether the entry's source operands are available. The
+// answer is memoized as a ready-at cycle once every producer has issued.
+func (c *Core) ready(e *robEntry) bool {
+	if e.readyAt != 0 {
+		return e.readyAt <= c.cycle
+	}
+	r1, ok := c.depReadyAt(e.dep1)
+	if !ok {
+		return false
+	}
+	r2, ok := c.depReadyAt(e.dep2)
+	if !ok {
+		return false
+	}
+	ra := r1
+	if r2 > ra {
+		ra = r2
+	}
+	if ra == 0 {
+		ra = 1 // cycle counting starts at 1; 0 is the "unknown" sentinel
+	}
+	e.readyAt = ra
+	return ra <= c.cycle
+}
+
+// depReadyAt returns the cycle the dependence is satisfied and whether that
+// cycle is known yet (producers that have not issued have no completion
+// time).
+func (c *Core) depReadyAt(dep uint64) (uint64, bool) {
+	if dep == 0 {
+		return 0, true
+	}
+	seq := dep - 1
+	if seq < c.head {
+		return 0, true // writer already committed
+	}
+	w := &c.rob[seq%uint64(c.cfg.ROBSize)]
+	if !w.issued {
+		return 0, false
+	}
+	return w.doneAt, true
+}
+
+// issue selects ready instructions oldest-first per queue, skipping
+// domains whose issue stage is gated this cycle.
+func (c *Core) issue(gates Gates, act *Activity) {
+	if !gateTick(&c.intGateAcc, gates.Int) {
+		c.issueInt(act)
+	}
+	if !gateTick(&c.fpGateAcc, gates.FP) {
+		c.issueFP(act)
+	}
+	if !gateTick(&c.memGateAcc, gates.Mem) {
+		c.issueMem(act)
+	}
+}
+
+func (c *Core) issueInt(act *Activity) {
+	issued := 0
+	w := c.intWait
+	out := w[:0]
+	for _, seq := range w {
+		e := &c.rob[seq%uint64(c.cfg.ROBSize)]
+		if issued >= c.cfg.IntIssueWidth || !c.ready(e) {
+			out = append(out, seq)
+			continue
+		}
+		issued++
+		e.issued = true
+		switch e.class {
+		case trace.IntMul:
+			e.doneAt = c.cycle + uint64(c.cfg.IntMulLatency)
+			act.IntMulIssued++
+		default: // IntALU, Branch
+			e.doneAt = c.cycle + 1
+		}
+		act.IntIssued++
+		c.countRegs(e, act)
+	}
+	c.intWait = out
+}
+
+func (c *Core) issueFP(act *Activity) {
+	issued := 0
+	w := c.fpWait
+	out := w[:0]
+	for _, seq := range w {
+		e := &c.rob[seq%uint64(c.cfg.ROBSize)]
+		if issued >= c.cfg.FPIssueWidth || !c.ready(e) {
+			out = append(out, seq)
+			continue
+		}
+		issued++
+		e.issued = true
+		if e.class == trace.FPMul {
+			e.doneAt = c.cycle + uint64(c.cfg.FPMulLatency)
+			act.FPMulIssued++
+		} else {
+			e.doneAt = c.cycle + uint64(c.cfg.FPAddLatency)
+			act.FPAddIssued++
+		}
+		c.countRegs(e, act)
+	}
+	c.fpWait = out
+}
+
+func (c *Core) issueMem(act *Activity) {
+	// Retire completed MSHRs first.
+	live := c.mshr[:0]
+	for _, t := range c.mshr {
+		if t > c.cycle {
+			live = append(live, t)
+		}
+	}
+	c.mshr = live
+
+	issued := 0
+	w := c.memWait
+	out := w[:0]
+	for _, seq := range w {
+		e := &c.rob[seq%uint64(c.cfg.ROBSize)]
+		if issued >= c.cfg.MemIssueWidth || !c.ready(e) {
+			out = append(out, seq)
+			continue
+		}
+		if len(c.mshr) >= c.cfg.MSHRs {
+			// No miss capacity left: structural stall for the memory
+			// pipeline this cycle.
+			out = append(out, seq)
+			continue
+		}
+		issued++
+		e.issued = true
+		res := c.mem.Data(e.addr)
+		act.DCacheAccesses++
+		act.DTBAccesses++
+		lat := c.cfg.Caches.L1D.Latency
+		if !res.L1Hit {
+			act.L2Accesses++
+			lat += c.cfg.Caches.L2.Latency
+			if !res.L2Hit {
+				lat += c.memLatency
+			}
+			c.mshr = append(c.mshr, c.cycle+uint64(lat))
+		}
+		if e.class == trace.Store {
+			// Stores complete into the store buffer immediately; the cache
+			// fill proceeds in the background (MSHR accounted above).
+			e.doneAt = c.cycle + 1
+		} else {
+			e.doneAt = c.cycle + uint64(lat)
+		}
+		act.MemIssued++
+		c.countRegs(e, act)
+	}
+	c.memWait = out
+}
+
+// countRegs charges register-file read/write energy for an issuing
+// instruction.
+func (c *Core) countRegs(e *robEntry, act *Activity) {
+	count := func(dep uint64) {
+		if dep == 0 {
+			return
+		}
+		// Bank by the destination register of the producing instruction:
+		// integer registers are 0..31, FP 32..63.
+		seq := dep - 1
+		var reg uint8
+		if seq < c.head {
+			// Writer committed; its register bank is not recoverable from
+			// the ROB, so attribute by consumer class.
+			if e.class.IsFP() {
+				reg = 32
+			}
+		} else {
+			reg = c.rob[seq%uint64(c.cfg.ROBSize)].dst
+		}
+		if reg >= 32 {
+			act.FPRegReads++
+		} else {
+			act.IntRegReads++
+		}
+	}
+	count(e.dep1)
+	count(e.dep2)
+	if e.dst != trace.NoReg {
+		if e.dst >= 32 {
+			act.FPRegWrites++
+		} else {
+			act.IntRegWrites++
+		}
+	}
+}
+
+// dispatch moves instructions from the fetch queue into the window.
+func (c *Core) dispatch(act *Activity) {
+	for n := 0; n < c.cfg.DispatchWidth && c.ifqCount > 0; n++ {
+		if c.tail-c.head >= uint64(c.cfg.ROBSize) {
+			return // window full
+		}
+		fe := &c.ifq[c.ifqHead]
+		// Issue-queue space.
+		switch fe.inst.Class {
+		case trace.Load, trace.Store:
+			if len(c.memWait) >= c.cfg.LSQSize {
+				return
+			}
+		case trace.FPAdd, trace.FPMul:
+			if len(c.fpWait) >= c.cfg.FPQSize {
+				return
+			}
+		default:
+			if len(c.intWait) >= c.cfg.IntQSize {
+				return
+			}
+		}
+		seq := c.tail
+		c.tail++
+		e := &c.rob[seq%uint64(c.cfg.ROBSize)]
+		*e = robEntry{
+			class:      fe.inst.Class,
+			dst:        fe.inst.Dst,
+			addr:       fe.inst.Addr,
+			mispredict: fe.mispredict,
+		}
+		if s := fe.inst.Src1; s != trace.NoReg {
+			e.dep1 = c.regWriter[s]
+		}
+		if s := fe.inst.Src2; s != trace.NoReg {
+			e.dep2 = c.regWriter[s]
+		}
+		if fe.inst.Dst != trace.NoReg {
+			c.regWriter[fe.inst.Dst] = seq + 1
+		}
+		switch fe.inst.Class {
+		case trace.Load, trace.Store:
+			c.memWait = append(c.memWait, seq)
+			act.MemDispatched++
+		case trace.FPAdd, trace.FPMul:
+			c.fpWait = append(c.fpWait, seq)
+			act.FPDispatched++
+		default:
+			c.intWait = append(c.intWait, seq)
+			act.IntDispatched++
+		}
+		if fe.mispredict && c.blockState == blockWaitDispatch {
+			c.blockState = blockWaitResolve
+			c.blockSeq = seq
+		}
+		c.ifqHead = (c.ifqHead + 1) % c.cfg.IFQSize
+		c.ifqCount--
+	}
+}
+
+// fetch brings instructions into the fetch queue, subject to gating,
+// I-cache misses and branch redirects.
+func (c *Core) fetch(gateFrac float64, act *Activity) {
+	// Resolve a pending branch redirect.
+	if c.blockState == blockWaitResolve {
+		e := &c.rob[c.blockSeq%uint64(c.cfg.ROBSize)]
+		resolved := c.blockSeq < c.head ||
+			(e.issued && e.doneAt+uint64(c.cfg.MispredictPenalty) <= c.cycle)
+		if resolved {
+			c.blockState = blockNone
+		}
+	}
+
+	// Fetch gating: a deterministic duty-cycle pattern over wall cycles,
+	// exactly like a hardware toggling counter. It applies regardless of
+	// other stalls — which is why mild gating often hides inside cycles the
+	// front end could not have used anyway.
+	c.gateAcc += gateFrac
+	if c.gateAcc >= 1 {
+		c.gateAcc--
+		act.GatedCycles++
+		return
+	}
+
+	if c.cycle < c.fetchStallUntil {
+		return // I-cache miss in service
+	}
+	if c.blockState != blockNone {
+		return // waiting on a mispredicted branch
+	}
+	free := c.cfg.IFQSize - c.ifqCount
+	if free == 0 {
+		return
+	}
+	slots := c.cfg.FetchWidth
+	if free < slots {
+		slots = free
+	}
+
+	if !c.pendingValid {
+		c.gen.Next(&c.pending)
+		c.pendingValid = true
+	}
+
+	// One I-cache (and I-TLB) access per fetch group.
+	res := c.mem.Instruction(c.pending.PC)
+	act.FetchGroups++
+	act.ITBAccesses++
+	if !res.L1Hit {
+		act.L2Accesses++
+		act.ICacheMisses++
+		lat := c.cfg.Caches.L1I.Latency + c.cfg.Caches.L2.Latency
+		if !res.L2Hit {
+			lat += c.memLatency
+		}
+		c.fetchStallUntil = c.cycle + uint64(lat)
+		return
+	}
+
+	for i := 0; i < slots; i++ {
+		if !c.pendingValid {
+			c.gen.Next(&c.pending)
+			c.pendingValid = true
+		}
+		inst := c.pending
+		c.pendingValid = false
+
+		fe := ifqEntry{inst: inst}
+		endGroup := false
+		if inst.Class == trace.Branch {
+			act.BPredAccesses++
+			pred := c.bp.Predict(inst.PC)
+			correct := c.bp.Update(inst.PC, inst.Taken)
+			fe.mispredict = !correct
+			if fe.mispredict {
+				c.blockState = blockWaitDispatch
+				endGroup = true
+			} else if pred {
+				// Correctly predicted taken branch still ends the fetch
+				// group (no fetching past a taken branch in one cycle).
+				endGroup = true
+			}
+		}
+		tailIdx := (c.ifqHead + c.ifqCount) % c.cfg.IFQSize
+		c.ifq[tailIdx] = fe
+		c.ifqCount++
+		act.Fetched++
+		if endGroup {
+			return
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package dtm
+
+import "testing"
+
+func testDomains() Domains {
+	return Domains{Int: []int{0, 1}, FP: []int{2, 3}, Mem: []int{4}}
+}
+
+func TestLocalTogglingValidation(t *testing.T) {
+	if _, err := LocalToggling(testTrigger, DefaultFGGain, 0.5, Domains{}); err == nil {
+		t.Error("accepted empty domains")
+	}
+	if _, err := LocalToggling(testTrigger, DefaultFGGain, 0, testDomains()); err == nil {
+		t.Error("accepted zero max gate")
+	}
+	if _, err := LocalToggling(testTrigger, 0, 0.5, testDomains()); err == nil {
+		t.Error("accepted zero gain")
+	}
+}
+
+func TestLocalTogglingGatesOnlyHotDomain(t *testing.T) {
+	p, err := LocalToggling(testTrigger, DefaultFGGain, 0.5, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the integer domain (blocks 0,1) is hot.
+	readings := []float64{testTrigger + 2, testTrigger + 1, testTrigger - 4, testTrigger - 4, testTrigger - 4}
+	var d Decision
+	for i := 0; i < 200; i++ {
+		d = p.SampleVector(readings, sampleDT)
+	}
+	if d.IntGate == 0 {
+		t.Error("hot int domain not gated")
+	}
+	if d.FPGate != 0 || d.MemGate != 0 {
+		t.Errorf("cool domains gated: %+v", d)
+	}
+	if d.GateFrac != 0 || d.Level != 0 || d.ClockStop {
+		t.Errorf("local toggling actuated non-issue knobs: %+v", d)
+	}
+}
+
+func TestLocalTogglingUnwinds(t *testing.T) {
+	p, err := LocalToggling(testTrigger, DefaultFGGain, 0.5, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := []float64{testTrigger + 3, testTrigger + 3, testTrigger + 3, testTrigger + 3, testTrigger + 3}
+	cool := []float64{testTrigger - 3, testTrigger - 3, testTrigger - 3, testTrigger - 3, testTrigger - 3}
+	for i := 0; i < 2000; i++ {
+		p.SampleVector(hot, sampleDT)
+	}
+	d := p.SampleVector(hot, sampleDT)
+	if d.IntGate != 0.5 || d.FPGate != 0.5 || d.MemGate != 0.5 {
+		t.Errorf("saturated gates: %+v, want 0.5 each", d)
+	}
+	for i := 0; i < 5000; i++ {
+		d = p.SampleVector(cool, sampleDT)
+	}
+	if d.IntGate != 0 || d.FPGate != 0 || d.MemGate != 0 {
+		t.Errorf("gates did not unwind: %+v", d)
+	}
+}
+
+func TestLocalTogglingScalarSample(t *testing.T) {
+	// Without the vector interface the policy degenerates to uniform issue
+	// gating driven by the global maximum.
+	p, err := LocalToggling(testTrigger, DefaultFGGain, 0.5, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decision
+	for i := 0; i < 100; i++ {
+		d = p.Sample(testTrigger+2, sampleDT)
+	}
+	if d.IntGate == 0 || d.IntGate != d.FPGate || d.FPGate != d.MemGate {
+		t.Errorf("scalar sampling should gate domains uniformly: %+v", d)
+	}
+}
+
+func TestLocalTogglingReset(t *testing.T) {
+	p, err := LocalToggling(testTrigger, DefaultFGGain, 0.5, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p.Sample(testTrigger+3, sampleDT)
+	}
+	p.Reset()
+	d := p.Sample(testTrigger-3, sampleDT)
+	if d != (Decision{}) {
+		t.Errorf("state after Reset: %+v", d)
+	}
+}
+
+func TestLocalTogglingPartialDomains(t *testing.T) {
+	// Only an Int domain defined: other gates stay at zero even when every
+	// reading is hot.
+	p, err := LocalToggling(testTrigger, DefaultFGGain, 0.5, Domains{Int: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decision
+	for i := 0; i < 100; i++ {
+		d = p.SampleVector([]float64{testTrigger + 3}, sampleDT)
+	}
+	if d.IntGate == 0 {
+		t.Error("int domain not gated")
+	}
+	if d.FPGate != 0 || d.MemGate != 0 {
+		t.Errorf("undefined domains gated: %+v", d)
+	}
+}

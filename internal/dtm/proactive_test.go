@@ -1,0 +1,110 @@
+package dtm
+
+import "testing"
+
+func TestProactiveValidation(t *testing.T) {
+	if _, err := Proactive(nil, 1e-3); err == nil {
+		t.Error("accepted nil inner policy")
+	}
+	p, _ := FixedFG(testTrigger, 0.3)
+	if _, err := Proactive(p, 0); err == nil {
+		t.Error("accepted zero horizon")
+	}
+}
+
+func TestProactiveName(t *testing.T) {
+	inner, _ := FixedFG(testTrigger, 0.3)
+	p, err := Proactive(inner, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "proactive-fg-fixed0.30" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestProactiveEngagesEarlyOnHeatingTrend(t *testing.T) {
+	inner, _ := FixedFG(testTrigger, 0.3)
+	p, err := Proactive(inner, 2e-3) // 2 ms horizon
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reading ramps at 1 °C/ms toward the trigger, currently 1 °C below:
+	// the 2 ms projection crosses it, so the proactive policy must engage
+	// while the reactive one stays idle.
+	reading := testTrigger - 2.0
+	var d Decision
+	for i := 0; i < 20; i++ {
+		reading += 0.1 // 1 °C/ms at 10 kHz
+		d = p.Sample(reading, sampleDT)
+	}
+	if reading >= testTrigger {
+		t.Fatal("test drove the reading past the trigger; shorten the ramp")
+	}
+	if d.GateFrac == 0 {
+		t.Error("proactive policy did not engage on a heating trend")
+	}
+	reactive, _ := FixedFG(testTrigger, 0.3)
+	if reactive.Sample(reading, sampleDT).GateFrac != 0 {
+		t.Error("reactive policy engaged below trigger; test premise broken")
+	}
+}
+
+func TestProactiveIgnoresCoolingTrend(t *testing.T) {
+	inner, _ := FixedFG(testTrigger, 0.3)
+	p, err := Proactive(inner, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Above the trigger but cooling fast: the response must NOT be
+	// released early (a predicted-cool future never overrides a hot now).
+	reading := testTrigger + 2.0
+	var d Decision
+	for i := 0; i < 20; i++ {
+		reading -= 0.1
+		d = p.Sample(reading, sampleDT)
+	}
+	if reading < testTrigger {
+		t.Fatal("test drove the reading below the trigger; shorten the ramp")
+	}
+	if d.GateFrac == 0 {
+		t.Error("cooling trend released the response while still above trigger")
+	}
+}
+
+func TestProactiveSteadyStateMatchesInner(t *testing.T) {
+	// With a flat temperature the wrapper is transparent.
+	inner, _ := FixedFG(testTrigger, 0.3)
+	p, err := Proactive(inner, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decision
+	for i := 0; i < 50; i++ {
+		d = p.Sample(testTrigger-0.5, sampleDT)
+	}
+	if d.GateFrac != 0 {
+		t.Errorf("flat sub-trigger reading engaged: %+v", d)
+	}
+	for i := 0; i < 50; i++ {
+		d = p.Sample(testTrigger+0.5, sampleDT)
+	}
+	if d.GateFrac != 0.3 {
+		t.Errorf("flat above-trigger reading: %+v, want gate 0.3", d)
+	}
+}
+
+func TestProactiveReset(t *testing.T) {
+	inner, _ := FetchGating(testTrigger, DefaultFGGain, 0.5)
+	p, err := Proactive(inner, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p.Sample(testTrigger+3, sampleDT)
+	}
+	p.Reset()
+	if d := p.Sample(testTrigger-5, sampleDT); d.GateFrac != 0 {
+		t.Errorf("state survived Reset: %+v", d)
+	}
+}

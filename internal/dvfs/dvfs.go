@@ -1,0 +1,161 @@
+// Package dvfs models voltage/frequency scaling for a given process
+// technology. The frequency-versus-voltage relation uses the alpha-power
+// delay model (Sakurai–Newton), standing in for the paper's Cadence/BSIM
+// ring-oscillator characterization (§4.1): gate delay ∝ V / (V − Vt)^α, so
+//
+//	f(V) = fNom · (V−Vt)^α/V · VNom/(VNom−Vt)^α
+//
+// With the default parameters, 85 % of nominal voltage runs at ≈87 % of
+// nominal frequency, giving DVS its near-cubic power reduction relative to
+// the frequency loss.
+package dvfs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Technology describes the process corner the chip is built in. Defaults
+// follow the paper: 0.13 µm, Vdd 1.3 V, 3 GHz.
+type Technology struct {
+	VNominal   float64 // nominal supply, V
+	FNominal   float64 // clock at nominal supply, Hz
+	VThreshold float64 // device threshold, V
+	Alpha      float64 // velocity-saturation exponent of the alpha-power model
+}
+
+// Default130nm returns the paper's technology point.
+func Default130nm() Technology {
+	return Technology{
+		VNominal:   1.3,
+		FNominal:   3e9,
+		VThreshold: 0.35,
+		Alpha:      1.3,
+	}
+}
+
+// Validate checks internal consistency.
+func (t Technology) Validate() error {
+	if !(t.VNominal > 0) || !(t.FNominal > 0) || !(t.Alpha > 0) {
+		return fmt.Errorf("dvfs: non-positive technology parameter: %+v", t)
+	}
+	if !(t.VThreshold >= 0) || t.VThreshold >= t.VNominal {
+		return fmt.Errorf("dvfs: threshold %v must be in [0, VNominal=%v)", t.VThreshold, t.VNominal)
+	}
+	return nil
+}
+
+// Frequency returns the maximum stable clock at supply v. v must exceed the
+// threshold voltage (below it the circuit does not switch); the result at
+// VNominal is FNominal.
+func (t Technology) Frequency(v float64) float64 {
+	if v <= t.VThreshold {
+		return 0
+	}
+	num := math.Pow(v-t.VThreshold, t.Alpha) / v
+	den := math.Pow(t.VNominal-t.VThreshold, t.Alpha) / t.VNominal
+	return t.FNominal * num / den
+}
+
+// DynamicScale returns the dynamic-power scaling factor at supply v relative
+// to nominal: (V/VNom)² · f(V)/fNom. This is the "approximately cubic"
+// reduction in power density with respect to the reduction in frequency
+// that motivates DVS for severe thermal stress (§1).
+func (t Technology) DynamicScale(v float64) float64 {
+	r := v / t.VNominal
+	return r * r * t.Frequency(v) / t.FNominal
+}
+
+// LeakageVoltageScale returns the supply-voltage dependence of leakage
+// power, approximately linear in V over the DVS range.
+func (t Technology) LeakageVoltageScale(v float64) float64 {
+	return v / t.VNominal
+}
+
+// OperatingPoint is one voltage/frequency setting.
+type OperatingPoint struct {
+	V float64 // supply, V
+	F float64 // clock, Hz
+}
+
+// Ladder is an ordered set of operating points, index 0 the fastest
+// (nominal) setting, the last index the lowest-voltage setting. The paper
+// evaluates ladders with continuous, ten, five, three and two steps and
+// finds binary DVS sufficient for DTM (§4.1).
+type Ladder struct {
+	tech   Technology
+	points []OperatingPoint
+}
+
+// NewLadder builds a ladder of n operating points with voltages evenly
+// spaced from VNominal down to lowFrac·VNominal. n must be ≥ 2; lowFrac in
+// (VThreshold/VNominal, 1).
+func NewLadder(t Technology, n int, lowFrac float64) (*Ladder, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("dvfs: ladder needs at least 2 points, got %d", n)
+	}
+	vLow := lowFrac * t.VNominal
+	if !(vLow > t.VThreshold) || lowFrac >= 1 {
+		return nil, fmt.Errorf("dvfs: low fraction %v out of range (%v, 1)",
+			lowFrac, t.VThreshold/t.VNominal)
+	}
+	pts := make([]OperatingPoint, n)
+	for i := 0; i < n; i++ {
+		v := t.VNominal + (vLow-t.VNominal)*float64(i)/float64(n-1)
+		pts[i] = OperatingPoint{V: v, F: t.Frequency(v)}
+	}
+	return &Ladder{tech: t, points: pts}, nil
+}
+
+// Binary returns the two-point ladder {nominal, lowFrac·nominal}: the
+// scheme the paper recommends (comparator-actuated, minimal test overhead).
+func Binary(t Technology, lowFrac float64) (*Ladder, error) {
+	return NewLadder(t, 2, lowFrac)
+}
+
+// ContinuousSteps is the resolution used to approximate the paper's
+// "continuous" DVS: fine enough that quantization is far below the paper's
+// observed 0.4 % step-size sensitivity.
+const ContinuousSteps = 64
+
+// Continuous approximates continuously variable DVS with a dense ladder.
+func Continuous(t Technology, lowFrac float64) (*Ladder, error) {
+	return NewLadder(t, ContinuousSteps, lowFrac)
+}
+
+// Technology returns the technology the ladder was built for.
+func (l *Ladder) Technology() Technology { return l.tech }
+
+// NumPoints returns the number of operating points.
+func (l *Ladder) NumPoints() int { return len(l.points) }
+
+// Point returns operating point i (0 = fastest).
+func (l *Ladder) Point(i int) OperatingPoint { return l.points[i] }
+
+// Nominal returns the fastest operating point.
+func (l *Ladder) Nominal() OperatingPoint { return l.points[0] }
+
+// Lowest returns the lowest-voltage operating point.
+func (l *Ladder) Lowest() OperatingPoint { return l.points[len(l.points)-1] }
+
+// QuantizeFrequency returns the index of the fastest operating point whose
+// frequency does not exceed fTarget. If even the lowest point is faster
+// than fTarget, the lowest point's index is returned; if fTarget is at or
+// above nominal, 0 is returned. This is how a feedback controller's
+// continuous output is mapped onto the discrete ladder, conservatively (the
+// paper notes DTM must round toward the safer setting).
+func (l *Ladder) QuantizeFrequency(fTarget float64) int {
+	// The relative tolerance absorbs float rounding from upstream filters
+	// (an exponential filter converging to nominal can stall a few ulps
+	// short); it is far below any real ladder spacing.
+	const tol = 1 + 1e-9
+	for i, p := range l.points {
+		if p.F <= fTarget*tol {
+			return i
+		}
+	}
+	return len(l.points) - 1
+}

@@ -1,0 +1,224 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTechnologyValid(t *testing.T) {
+	tech := Default130nm()
+	if err := tech.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tech.VNominal != 1.3 || tech.FNominal != 3e9 {
+		t.Errorf("default tech = %+v, want 1.3V / 3GHz", tech)
+	}
+}
+
+func TestValidateRejectsBadTech(t *testing.T) {
+	cases := []Technology{
+		{VNominal: 0, FNominal: 3e9, VThreshold: 0.3, Alpha: 1.3},
+		{VNominal: 1.3, FNominal: 0, VThreshold: 0.3, Alpha: 1.3},
+		{VNominal: 1.3, FNominal: 3e9, VThreshold: 1.4, Alpha: 1.3}, // Vt >= Vdd
+		{VNominal: 1.3, FNominal: 3e9, VThreshold: -0.1, Alpha: 1.3},
+		{VNominal: 1.3, FNominal: 3e9, VThreshold: 0.3, Alpha: 0},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+}
+
+func TestFrequencyAtNominal(t *testing.T) {
+	tech := Default130nm()
+	if got := tech.Frequency(tech.VNominal); math.Abs(got-tech.FNominal) > 1 {
+		t.Errorf("f(VNom) = %v, want %v", got, tech.FNominal)
+	}
+}
+
+func TestFrequencyMonotone(t *testing.T) {
+	tech := Default130nm()
+	f := func(a, b float64) bool {
+		// Map to (Vt, VNom] range.
+		lo := tech.VThreshold + 0.01
+		va := lo + math.Mod(math.Abs(a), tech.VNominal-lo)
+		vb := lo + math.Mod(math.Abs(b), tech.VNominal-lo)
+		if va > vb {
+			va, vb = vb, va
+		}
+		return tech.Frequency(va) <= tech.Frequency(vb)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrequencyBelowThresholdZero(t *testing.T) {
+	tech := Default130nm()
+	if got := tech.Frequency(tech.VThreshold); got != 0 {
+		t.Errorf("f(Vt) = %v, want 0", got)
+	}
+	if got := tech.Frequency(0.1); got != 0 {
+		t.Errorf("f(0.1) = %v, want 0", got)
+	}
+}
+
+func TestCalibration85Percent(t *testing.T) {
+	// The paper's ring-oscillator characterization makes 85% voltage run at
+	// a high fraction of nominal frequency; the alpha-power substitute must
+	// land in the 84–90% frequency band so DVS keeps its cubic advantage.
+	tech := Default130nm()
+	v := 0.85 * tech.VNominal
+	fr := tech.Frequency(v) / tech.FNominal
+	if fr < 0.84 || fr > 0.90 {
+		t.Errorf("f(0.85·VNom)/fNom = %v, want in [0.84, 0.90]", fr)
+	}
+	// Dynamic power at that point must be well below the frequency ratio
+	// (the cubic advantage).
+	ps := tech.DynamicScale(v)
+	if ps >= fr {
+		t.Errorf("power scale %v not below frequency scale %v", ps, fr)
+	}
+	if ps < 0.55 || ps > 0.70 {
+		t.Errorf("DynamicScale(0.85·VNom) = %v, want in [0.55, 0.70]", ps)
+	}
+}
+
+func TestDynamicScaleCubicShape(t *testing.T) {
+	// Power reduction must outpace frequency reduction everywhere below
+	// nominal: d(power)/d(freq) slope > 1 in relative terms.
+	tech := Default130nm()
+	for _, frac := range []float64{0.95, 0.9, 0.85, 0.8, 0.75} {
+		v := frac * tech.VNominal
+		fRel := tech.Frequency(v) / tech.FNominal
+		pRel := tech.DynamicScale(v)
+		// Relative power loss must exceed relative frequency loss by at
+		// least ~2x (cubic-ish behaviour).
+		if (1 - pRel) < 2*(1-fRel) {
+			t.Errorf("at %v·VNom: power loss %v < 2× frequency loss %v", frac, 1-pRel, 1-fRel)
+		}
+	}
+}
+
+func TestLeakageVoltageScale(t *testing.T) {
+	tech := Default130nm()
+	if got := tech.LeakageVoltageScale(tech.VNominal); math.Abs(got-1) > 1e-12 {
+		t.Errorf("leak scale at nominal = %v, want 1", got)
+	}
+	if got := tech.LeakageVoltageScale(0.65); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("leak scale at half = %v, want 0.5", got)
+	}
+}
+
+func TestNewLadder(t *testing.T) {
+	tech := Default130nm()
+	l, err := NewLadder(tech, 5, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumPoints() != 5 {
+		t.Fatalf("NumPoints = %d, want 5", l.NumPoints())
+	}
+	if math.Abs(l.Nominal().V-tech.VNominal) > 1e-12 {
+		t.Errorf("Nominal V = %v", l.Nominal().V)
+	}
+	if math.Abs(l.Lowest().V-0.85*tech.VNominal) > 1e-12 {
+		t.Errorf("Lowest V = %v, want %v", l.Lowest().V, 0.85*tech.VNominal)
+	}
+	// Monotone decreasing V and F along the ladder.
+	for i := 1; i < l.NumPoints(); i++ {
+		if l.Point(i).V >= l.Point(i-1).V {
+			t.Errorf("ladder voltage not decreasing at %d", i)
+		}
+		if l.Point(i).F >= l.Point(i-1).F {
+			t.Errorf("ladder frequency not decreasing at %d", i)
+		}
+	}
+}
+
+func TestLadderValidation(t *testing.T) {
+	tech := Default130nm()
+	if _, err := NewLadder(tech, 1, 0.85); err == nil {
+		t.Error("accepted 1-point ladder")
+	}
+	if _, err := NewLadder(tech, 2, 1.0); err == nil {
+		t.Error("accepted lowFrac = 1")
+	}
+	if _, err := NewLadder(tech, 2, 0.1); err == nil {
+		t.Error("accepted lowFrac below threshold")
+	}
+	bad := tech
+	bad.Alpha = -1
+	if _, err := NewLadder(bad, 2, 0.85); err == nil {
+		t.Error("accepted invalid technology")
+	}
+}
+
+func TestBinaryLadder(t *testing.T) {
+	l, err := Binary(Default130nm(), 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumPoints() != 2 {
+		t.Errorf("Binary ladder has %d points", l.NumPoints())
+	}
+}
+
+func TestContinuousLadder(t *testing.T) {
+	l, err := Continuous(Default130nm(), 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumPoints() != ContinuousSteps {
+		t.Errorf("Continuous ladder has %d points, want %d", l.NumPoints(), ContinuousSteps)
+	}
+}
+
+func TestQuantizeFrequency(t *testing.T) {
+	tech := Default130nm()
+	l, err := NewLadder(tech, 5, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At or above nominal: index 0.
+	if got := l.QuantizeFrequency(tech.FNominal * 1.1); got != 0 {
+		t.Errorf("Quantize(1.1·fNom) = %d, want 0", got)
+	}
+	// Below the lowest: lowest index (conservative clamp).
+	if got := l.QuantizeFrequency(0); got != l.NumPoints()-1 {
+		t.Errorf("Quantize(0) = %d, want %d", got, l.NumPoints()-1)
+	}
+	// Exactly at an intermediate point: that point.
+	for i := 0; i < l.NumPoints(); i++ {
+		if got := l.QuantizeFrequency(l.Point(i).F); got != i {
+			t.Errorf("Quantize(F[%d]) = %d, want %d", i, got, i)
+		}
+	}
+	// Strictly between points i and i+1: the slower point (conservative).
+	mid := (l.Point(1).F + l.Point(2).F) / 2
+	if got := l.QuantizeFrequency(mid); got != 2 {
+		t.Errorf("Quantize(midpoint 1-2) = %d, want 2", got)
+	}
+}
+
+func TestQuantizeIsConservative(t *testing.T) {
+	// Property: the selected point never runs faster than the target unless
+	// the target exceeds nominal.
+	l, err := NewLadder(Default130nm(), 10, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x float64) bool {
+		target := math.Mod(math.Abs(x), l.Nominal().F)
+		if target < l.Lowest().F {
+			return l.QuantizeFrequency(target) == l.NumPoints()-1
+		}
+		i := l.QuantizeFrequency(target)
+		return l.Point(i).F <= target+1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package floorplan
+
+import "hybriddtm/internal/geom"
+
+// Canonical EV6 block names, exported so the power model and the CPU model
+// can refer to floorplan units without string literals scattered around.
+const (
+	L2      = "L2"      // bottom L2 bank
+	L2Left  = "L2_left" // left L2 bank (replaces multiprocessor logic, §3)
+	L2Right = "L2_right"
+	ICache  = "Icache"
+	DCache  = "Dcache"
+	BPred   = "Bpred"
+	ITB     = "ITB"
+	DTB     = "DTB"
+	FPAdd   = "FPAdd"
+	FPReg   = "FPReg"
+	FPMul   = "FPMul"
+	FPMap   = "FPMap"
+	FPQ     = "FPQ"
+	IntMap  = "IntMap"
+	IntQ    = "IntQ"
+	LdStQ   = "LdStQ"
+	IntReg  = "IntReg"
+	IntExec = "IntExec"
+)
+
+// CoreBlocks lists the CPU-core blocks (everything but the L2 banks), the
+// units shown in the paper's Figure 2b close-up.
+var CoreBlocks = []string{
+	ICache, DCache, BPred, ITB, DTB,
+	FPAdd, FPReg, FPMul, FPMap, FPQ,
+	IntMap, IntQ, LdStQ, IntReg, IntExec,
+}
+
+const mm = 1e-3 // meters per millimeter
+
+// EV6 returns the floorplan used throughout the paper: an Alpha 21264-style
+// core in the top-center of a 16 mm × 16 mm die, surrounded on three sides
+// by L2 cache (the multiprocessor logic of the 21364 replaced by additional
+// cache, §3). The layout is a clean rectilinear reconstruction of the
+// HotSpot ev6 floorplan: same block set, same relative placement (caches at
+// the bottom of the core, FP cluster on the left, integer cluster on the
+// right, register files at the top where the paper's hotspot lives).
+//
+// The returned floorplan tiles the die exactly and is guaranteed valid; any
+// construction error here is a programming bug, hence the panic.
+func EV6() *Floorplan {
+	r := func(x, y, w, h float64) geom.Rect {
+		return geom.Rect{X: x * mm, Y: y * mm, W: w * mm, H: h * mm}
+	}
+	blocks := []Block{
+		// L2 ring.
+		{L2, r(0, 0, 16, 9.8)},
+		{L2Left, r(0, 9.8, 4.9, 6.2)},
+		{L2Right, r(11.1, 9.8, 4.9, 6.2)},
+
+		// Core: x ∈ [4.9, 11.1), y ∈ [9.8, 16.0).
+		// L1 caches along the bottom of the core.
+		{ICache, r(4.9, 9.8, 3.1, 2.6)},
+		{DCache, r(8.0, 9.8, 3.1, 2.6)},
+
+		// TLB / predictor row above the caches.
+		{BPred, r(4.9, 12.4, 1.55, 0.7)},
+		{ITB, r(6.45, 12.4, 1.55, 0.7)},
+		{DTB, r(8.0, 12.4, 3.1, 0.7)},
+
+		// Floating-point cluster, left column (width 2.3 mm).
+		{FPAdd, r(4.9, 13.1, 2.3, 0.9)},
+		{FPReg, r(4.9, 14.0, 2.3, 0.4)},
+		{FPMul, r(4.9, 14.4, 2.3, 0.9)},
+		{FPMap, r(4.9, 15.3, 2.3, 0.7)},
+
+		// Queues and map, middle column (width 1.9 mm).
+		{FPQ, r(7.2, 13.1, 1.9, 0.7)},
+		{IntMap, r(7.2, 13.8, 1.9, 0.7)},
+		{IntQ, r(7.2, 14.5, 1.9, 1.0)},
+		{LdStQ, r(7.2, 15.5, 1.9, 0.5)},
+
+		// Integer cluster, right column (width 2.0 mm). IntReg is small and
+		// high-power: the chip's hotspot (§3, "the hottest unit is the
+		// integer register file").
+		{IntExec, r(9.1, 13.1, 2.0, 2.3)},
+		{IntReg, r(9.1, 15.4, 2.0, 0.6)},
+	}
+	fp, err := New(blocks)
+	if err != nil {
+		panic("floorplan: EV6 construction: " + err.Error())
+	}
+	return fp
+}

@@ -1,0 +1,184 @@
+// Package floorplan models block-level chip floorplans: a set of named,
+// non-overlapping rectangular functional units that tile the die. The
+// floorplan is the geometric input to the thermal model — block areas set
+// vertical thermal resistance and capacitance, and shared edges set lateral
+// resistances.
+//
+// The package ships the EV6 floorplan used in the paper (an Alpha
+// 21264-style core surrounded by L2 cache, as in the 21364), but arbitrary
+// floorplans can be constructed and validated.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hybriddtm/internal/geom"
+)
+
+// Block is a named functional unit occupying a rectangle of die area.
+type Block struct {
+	Name string
+	Rect geom.Rect
+}
+
+// Floorplan is an ordered collection of blocks. Order is significant: it
+// defines the node indexing used by the thermal model and the power model.
+type Floorplan struct {
+	blocks []Block
+	index  map[string]int
+}
+
+// New builds a floorplan from blocks and validates it: names must be unique
+// and non-empty, rectangles well formed and mutually non-overlapping.
+func New(blocks []Block) (*Floorplan, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("floorplan: no blocks")
+	}
+	fp := &Floorplan{
+		blocks: append([]Block(nil), blocks...),
+		index:  make(map[string]int, len(blocks)),
+	}
+	for i, b := range fp.blocks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("floorplan: block %d has empty name", i)
+		}
+		if _, dup := fp.index[b.Name]; dup {
+			return nil, fmt.Errorf("floorplan: duplicate block name %q", b.Name)
+		}
+		if err := b.Rect.Validate(); err != nil {
+			return nil, fmt.Errorf("floorplan: block %q: %w", b.Name, err)
+		}
+		fp.index[b.Name] = i
+	}
+	for i := 0; i < len(fp.blocks); i++ {
+		for j := i + 1; j < len(fp.blocks); j++ {
+			if fp.blocks[i].Rect.Overlaps(fp.blocks[j].Rect) {
+				return nil, fmt.Errorf("floorplan: blocks %q and %q overlap",
+					fp.blocks[i].Name, fp.blocks[j].Name)
+			}
+		}
+	}
+	return fp, nil
+}
+
+// NumBlocks returns the number of blocks.
+func (fp *Floorplan) NumBlocks() int { return len(fp.blocks) }
+
+// Block returns block i.
+func (fp *Floorplan) Block(i int) Block { return fp.blocks[i] }
+
+// Blocks returns a copy of the block slice.
+func (fp *Floorplan) Blocks() []Block { return append([]Block(nil), fp.blocks...) }
+
+// Index returns the index of the named block, or -1 if absent.
+func (fp *Floorplan) Index(name string) int {
+	if i, ok := fp.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Names returns the block names in index order.
+func (fp *Floorplan) Names() []string {
+	names := make([]string, len(fp.blocks))
+	for i, b := range fp.blocks {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// DieRect returns the bounding box of all blocks.
+func (fp *Floorplan) DieRect() geom.Rect {
+	rects := make([]geom.Rect, len(fp.blocks))
+	for i, b := range fp.blocks {
+		rects[i] = b.Rect
+	}
+	return geom.BoundingBox(rects)
+}
+
+// DieArea returns the bounding-box area in m².
+func (fp *Floorplan) DieArea() float64 { return fp.DieRect().Area() }
+
+// BlockArea returns the summed block area in m².
+func (fp *Floorplan) BlockArea() float64 {
+	var a float64
+	for _, b := range fp.blocks {
+		a += b.Rect.Area()
+	}
+	return a
+}
+
+// Covered reports whether the blocks tile the die bounding box completely
+// (within tolerance tol, a fraction of the die area).
+func (fp *Floorplan) Covered(tol float64) bool {
+	die := fp.DieArea()
+	return math.Abs(die-fp.BlockArea()) <= tol*die
+}
+
+// Adjacency describes two blocks sharing a boundary of positive length.
+type Adjacency struct {
+	A, B       int     // block indices, A < B
+	SharedLen  float64 // length of the shared boundary (m)
+	CenterDist float64 // Euclidean distance between block centers (m)
+}
+
+// Adjacencies returns every pair of blocks that share a boundary of positive
+// length, sorted by (A, B). The thermal model turns each entry into a
+// lateral thermal resistance.
+func (fp *Floorplan) Adjacencies() []Adjacency {
+	var adj []Adjacency
+	for i := 0; i < len(fp.blocks); i++ {
+		for j := i + 1; j < len(fp.blocks); j++ {
+			s := fp.blocks[i].Rect.SharedEdge(fp.blocks[j].Rect)
+			if s <= 0 {
+				continue
+			}
+			adj = append(adj, Adjacency{
+				A:          i,
+				B:          j,
+				SharedLen:  s,
+				CenterDist: fp.blocks[i].Rect.CenterDistance(fp.blocks[j].Rect),
+			})
+		}
+	}
+	sort.Slice(adj, func(a, b int) bool {
+		if adj[a].A != adj[b].A {
+			return adj[a].A < adj[b].A
+		}
+		return adj[a].B < adj[b].B
+	})
+	return adj
+}
+
+// Connected reports whether the adjacency graph is connected, i.e. heat can
+// flow laterally between any two blocks. A disconnected floorplan usually
+// indicates missing filler blocks.
+func (fp *Floorplan) Connected() bool {
+	n := len(fp.blocks)
+	if n == 0 {
+		return false
+	}
+	adjList := make([][]int, n)
+	for _, a := range fp.Adjacencies() {
+		adjList[a.A] = append(adjList[a.A], a.B)
+		adjList[a.B] = append(adjList[a.B], a.A)
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adjList[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}

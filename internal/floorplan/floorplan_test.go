@@ -1,0 +1,236 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybriddtm/internal/geom"
+)
+
+func TestNewRejectsBadInput(t *testing.T) {
+	good := geom.Rect{X: 0, Y: 0, W: 1, H: 1}
+	cases := []struct {
+		name   string
+		blocks []Block
+	}{
+		{"empty", nil},
+		{"empty name", []Block{{"", good}}},
+		{"duplicate name", []Block{{"a", good}, {"a", geom.Rect{X: 2, Y: 2, W: 1, H: 1}}}},
+		{"bad rect", []Block{{"a", geom.Rect{X: 0, Y: 0, W: 0, H: 1}}}},
+		{"overlap", []Block{{"a", good}, {"b", geom.Rect{X: 0.5, Y: 0.5, W: 1, H: 1}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.blocks); err == nil {
+				t.Error("New accepted invalid floorplan")
+			}
+		})
+	}
+}
+
+func TestIndexAndNames(t *testing.T) {
+	fp, err := New([]Block{
+		{"a", geom.Rect{X: 0, Y: 0, W: 1, H: 1}},
+		{"b", geom.Rect{X: 1, Y: 0, W: 1, H: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Index("a") != 0 || fp.Index("b") != 1 {
+		t.Errorf("Index: got (%d,%d), want (0,1)", fp.Index("a"), fp.Index("b"))
+	}
+	if fp.Index("missing") != -1 {
+		t.Error("Index(missing) != -1")
+	}
+	names := fp.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestAdjacencies(t *testing.T) {
+	// 2x2 grid of unit squares: 4 adjacencies (no diagonals).
+	fp, err := New([]Block{
+		{"sw", geom.Rect{X: 0, Y: 0, W: 1, H: 1}},
+		{"se", geom.Rect{X: 1, Y: 0, W: 1, H: 1}},
+		{"nw", geom.Rect{X: 0, Y: 1, W: 1, H: 1}},
+		{"ne", geom.Rect{X: 1, Y: 1, W: 1, H: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := fp.Adjacencies()
+	if len(adj) != 4 {
+		t.Fatalf("got %d adjacencies, want 4: %+v", len(adj), adj)
+	}
+	for _, a := range adj {
+		if math.Abs(a.SharedLen-1) > 1e-12 {
+			t.Errorf("adjacency %v: SharedLen = %v, want 1", a, a.SharedLen)
+		}
+		if math.Abs(a.CenterDist-1) > 1e-12 {
+			t.Errorf("adjacency %v: CenterDist = %v, want 1", a, a.CenterDist)
+		}
+		if a.A >= a.B {
+			t.Errorf("adjacency %v: indices not ordered", a)
+		}
+	}
+	if !fp.Connected() {
+		t.Error("grid floorplan reported disconnected")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	fp, err := New([]Block{
+		{"a", geom.Rect{X: 0, Y: 0, W: 1, H: 1}},
+		{"b", geom.Rect{X: 5, Y: 5, W: 1, H: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Connected() {
+		t.Error("disjoint blocks reported connected")
+	}
+}
+
+func TestEV6Valid(t *testing.T) {
+	fp := EV6()
+	if got := fp.NumBlocks(); got != 18 {
+		t.Errorf("EV6 has %d blocks, want 18", got)
+	}
+	die := fp.DieRect()
+	if math.Abs(die.W-16e-3) > 1e-9 || math.Abs(die.H-16e-3) > 1e-9 {
+		t.Errorf("EV6 die = %v x %v, want 16mm x 16mm", die.W, die.H)
+	}
+	if !fp.Covered(1e-9) {
+		t.Errorf("EV6 does not tile the die: block area %.6e, die area %.6e",
+			fp.BlockArea(), fp.DieArea())
+	}
+	if !fp.Connected() {
+		t.Error("EV6 adjacency graph disconnected")
+	}
+}
+
+func TestEV6AllNamedBlocksPresent(t *testing.T) {
+	fp := EV6()
+	want := append([]string{L2, L2Left, L2Right}, CoreBlocks...)
+	if len(want) != fp.NumBlocks() {
+		t.Fatalf("name list has %d entries, floorplan has %d", len(want), fp.NumBlocks())
+	}
+	for _, name := range want {
+		if fp.Index(name) < 0 {
+			t.Errorf("block %q missing from EV6", name)
+		}
+	}
+}
+
+func TestEV6KeyAdjacencies(t *testing.T) {
+	// Physical sanity: units that abut in the 21264 layout must be adjacent
+	// so lateral heat flow between them is modeled.
+	fp := EV6()
+	pairs := [][2]string{
+		{IntReg, IntExec},
+		{IntReg, LdStQ},
+		{IntReg, L2Right},
+		{ICache, DCache},
+		{ICache, BPred},
+		{DCache, DTB},
+		{FPAdd, FPReg},
+		{FPReg, FPMul},
+		{FPMul, FPMap},
+		{IntQ, LdStQ},
+		{L2, ICache},
+		{L2, DCache},
+	}
+	adj := fp.Adjacencies()
+	has := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		for _, x := range adj {
+			if x.A == a && x.B == b {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range pairs {
+		i, j := fp.Index(p[0]), fp.Index(p[1])
+		if i < 0 || j < 0 {
+			t.Fatalf("missing block in pair %v", p)
+		}
+		if !has(i, j) {
+			t.Errorf("expected %s and %s to be adjacent", p[0], p[1])
+		}
+	}
+}
+
+func TestEV6IntRegIsSmall(t *testing.T) {
+	// The integer register file must be among the smallest core blocks so a
+	// realistic power share produces the highest power density (the paper's
+	// hotspot). Guard the floorplan against edits that break that.
+	fp := EV6()
+	intReg := fp.Block(fp.Index(IntReg)).Rect.Area()
+	for _, name := range []string{ICache, DCache, IntExec, FPAdd, FPMul, L2} {
+		if a := fp.Block(fp.Index(name)).Rect.Area(); a <= intReg {
+			t.Errorf("block %s area %.3e <= IntReg area %.3e", name, a, intReg)
+		}
+	}
+}
+
+// guillotine recursively splits a rectangle into n tiles — every result is
+// a valid, gap-free tiling, which makes it a good property-test generator.
+func guillotine(rng *rand.Rand, r geom.Rect, n int, out *[]geom.Rect) {
+	if n == 1 {
+		*out = append(*out, r)
+		return
+	}
+	nLeft := 1 + rng.Intn(n-1)
+	frac := 0.3 + 0.4*rng.Float64()
+	if r.W >= r.H {
+		w := r.W * frac
+		guillotine(rng, geom.Rect{X: r.X, Y: r.Y, W: w, H: r.H}, nLeft, out)
+		guillotine(rng, geom.Rect{X: r.X + w, Y: r.Y, W: r.W - w, H: r.H}, n-nLeft, out)
+	} else {
+		h := r.H * frac
+		guillotine(rng, geom.Rect{X: r.X, Y: r.Y, W: r.W, H: h}, nLeft, out)
+		guillotine(rng, geom.Rect{X: r.X, Y: r.Y + h, W: r.W, H: r.H - h}, n-nLeft, out)
+	}
+}
+
+// randomTiling builds a random valid floorplan with n blocks over a
+// side×side die.
+func randomTiling(rng *rand.Rand, side float64, n int) []Block {
+	var rects []geom.Rect
+	guillotine(rng, geom.Rect{X: 0, Y: 0, W: side, H: side}, n, &rects)
+	blocks := make([]Block, len(rects))
+	for i, r := range rects {
+		blocks[i] = Block{Name: fmt.Sprintf("b%d", i), Rect: r}
+	}
+	return blocks
+}
+
+func TestRandomTilingsAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		fp, err := New(randomTiling(rng, 10e-3, n))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !fp.Covered(1e-9) {
+			t.Errorf("seed %d: tiling has gaps", seed)
+		}
+		if !fp.Connected() {
+			t.Errorf("seed %d: tiling disconnected", seed)
+		}
+		// Adjacency shared-edge lengths are consistent with a tiling: every
+		// block except those on the die boundary touches neighbours along
+		// its full perimeter.
+		adj := fp.Adjacencies()
+		if n > 1 && len(adj) == 0 {
+			t.Errorf("seed %d: no adjacencies in a tiling", seed)
+		}
+	}
+}

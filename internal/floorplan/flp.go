@@ -1,0 +1,72 @@
+package floorplan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hybriddtm/internal/geom"
+)
+
+// This file implements the HotSpot .flp floorplan format, so floorplans can
+// be exchanged with the original HotSpot tool chain:
+//
+//	<unit-name>\t<width>\t<height>\t<left-x>\t<bottom-y>
+//
+// dimensions in meters, one block per line, '#' comments and blank lines
+// ignored. (HotSpot also allows optional per-block conductivity/capacity
+// columns; they are accepted and ignored here — this model derives those
+// from the package configuration.)
+
+// ParseFLP reads a HotSpot-format floorplan.
+func ParseFLP(r io.Reader) (*Floorplan, error) {
+	var blocks []Block
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("floorplan: line %d: want ≥5 fields (name w h x y), got %d", lineNo, len(fields))
+		}
+		vals := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("floorplan: line %d: field %d: %w", lineNo, i+2, err)
+			}
+			vals[i] = v
+		}
+		blocks = append(blocks, Block{
+			Name: fields[0],
+			Rect: geom.Rect{X: vals[2], Y: vals[3], W: vals[0], H: vals[1]},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(blocks)
+}
+
+// WriteFLP writes the floorplan in HotSpot format.
+func WriteFLP(w io.Writer, fp *Floorplan) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# HotSpot floorplan: <unit-name> <width> <height> <left-x> <bottom-y> (meters)")
+	for i := 0; i < fp.NumBlocks(); i++ {
+		b := fp.Block(i)
+		if _, err := fmt.Fprintf(bw, "%s\t%.9g\t%.9g\t%.9g\t%.9g\n",
+			b.Name, b.Rect.W, b.Rect.H, b.Rect.X, b.Rect.Y); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

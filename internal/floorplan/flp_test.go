@@ -1,0 +1,86 @@
+package floorplan
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFLPRoundTrip(t *testing.T) {
+	fp := EV6()
+	var buf bytes.Buffer
+	if err := WriteFLP(&buf, fp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumBlocks() != fp.NumBlocks() {
+		t.Fatalf("round trip lost blocks: %d vs %d", got.NumBlocks(), fp.NumBlocks())
+	}
+	for i := 0; i < fp.NumBlocks(); i++ {
+		a, b := fp.Block(i), got.Block(i)
+		if a.Name != b.Name {
+			t.Errorf("block %d name %q vs %q", i, a.Name, b.Name)
+		}
+		for _, d := range []float64{a.Rect.X - b.Rect.X, a.Rect.Y - b.Rect.Y,
+			a.Rect.W - b.Rect.W, a.Rect.H - b.Rect.H} {
+			if math.Abs(d) > 1e-12 {
+				t.Errorf("block %s geometry drifted by %g", a.Name, d)
+			}
+		}
+	}
+	if !got.Covered(1e-9) || !got.Connected() {
+		t.Error("round-tripped floorplan lost validity")
+	}
+}
+
+func TestParseFLPHotSpotStyle(t *testing.T) {
+	// A fragment in the upstream HotSpot style: comments, blank lines, tabs.
+	src := `
+# floorplan for a toy chip
+left	0.008	0.016	0.000	0.000
+right	0.008	0.016	0.008	0.000	# trailing comment
+`
+	fp, err := ParseFLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumBlocks() != 2 {
+		t.Fatalf("parsed %d blocks, want 2", fp.NumBlocks())
+	}
+	if fp.Index("left") != 0 || fp.Index("right") != 1 {
+		t.Error("block order or names wrong")
+	}
+	if !fp.Covered(1e-9) {
+		t.Error("parsed floorplan does not tile")
+	}
+}
+
+func TestParseFLPExtraColumnsIgnored(t *testing.T) {
+	src := "a\t0.01\t0.01\t0\t0\t150.0\t1.75e6\n"
+	fp, err := ParseFLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumBlocks() != 1 {
+		t.Error("extra columns broke parsing")
+	}
+}
+
+func TestParseFLPErrors(t *testing.T) {
+	cases := []string{
+		"a 0.01 0.01 0",                        // too few fields
+		"a x 0.01 0 0",                         // non-numeric
+		"a 0.01 0.01 0 0\na 0.01 0.01 0.01 0",  // duplicate name
+		"a 0.01 0.01 0 0\nb 0.01 0.01 0.005 0", // overlap
+		"",                                     // empty floorplan
+	}
+	for i, src := range cases {
+		if _, err := ParseFLP(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: parsed invalid input", i)
+		}
+	}
+}

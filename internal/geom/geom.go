@@ -1,0 +1,136 @@
+// Package geom provides the small amount of planar geometry needed to build
+// block-level floorplans and derive thermal adjacency from them.
+//
+// All coordinates are in meters. Rectangles are axis-aligned and specified by
+// their lower-left corner plus width and height, matching the convention used
+// by floorplan files in the HotSpot tool family.
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the geometric tolerance used when comparing coordinates. Floorplan
+// dimensions are on the order of millimeters, so one nanometer of slack is
+// far below any meaningful feature size while absorbing float rounding.
+const Eps = 1e-9
+
+// Rect is an axis-aligned rectangle: lower-left corner (X, Y), width W and
+// height H, all in meters.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// NewRect returns a rectangle and validates that it has strictly positive
+// dimensions.
+func NewRect(x, y, w, h float64) (Rect, error) {
+	r := Rect{X: x, Y: y, W: w, H: h}
+	if err := r.Validate(); err != nil {
+		return Rect{}, err
+	}
+	return r, nil
+}
+
+// Validate reports whether the rectangle is well formed (finite coordinates,
+// positive area).
+func (r Rect) Validate() error {
+	for _, v := range []float64{r.X, r.Y, r.W, r.H} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("geom: rectangle has non-finite coordinate")
+		}
+	}
+	if r.W <= 0 || r.H <= 0 {
+		return fmt.Errorf("geom: rectangle %v has non-positive dimension", r)
+	}
+	return nil
+}
+
+// Area returns the rectangle area in m².
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Right returns the x coordinate of the right edge.
+func (r Rect) Right() float64 { return r.X + r.W }
+
+// Top returns the y coordinate of the top edge.
+func (r Rect) Top() float64 { return r.Y + r.H }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() (x, y float64) { return r.X + r.W/2, r.Y + r.H/2 }
+
+// Contains reports whether point (x, y) lies inside or on the boundary.
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X-Eps && x <= r.Right()+Eps && y >= r.Y-Eps && y <= r.Top()+Eps
+}
+
+// Overlaps reports whether two rectangles share interior area (touching
+// edges do not count as overlap).
+func (r Rect) Overlaps(o Rect) bool {
+	return r.X < o.Right()-Eps && o.X < r.Right()-Eps &&
+		r.Y < o.Top()-Eps && o.Y < r.Top()-Eps
+}
+
+// SharedEdge returns the length of the boundary shared between two
+// rectangles: the extent along which they touch. Zero means they are not
+// adjacent. Corner contact (a single shared point) counts as zero.
+func (r Rect) SharedEdge(o Rect) float64 {
+	// Vertical contact: r's right edge on o's left edge or vice versa.
+	if almostEqual(r.Right(), o.X) || almostEqual(o.Right(), r.X) {
+		return overlap1D(r.Y, r.Top(), o.Y, o.Top())
+	}
+	// Horizontal contact: r's top edge on o's bottom edge or vice versa.
+	if almostEqual(r.Top(), o.Y) || almostEqual(o.Top(), r.Y) {
+		return overlap1D(r.X, r.Right(), o.X, o.Right())
+	}
+	return 0
+}
+
+// CenterDistance returns the Euclidean distance between the rectangle
+// centers.
+func (r Rect) CenterDistance(o Rect) float64 {
+	rx, ry := r.Center()
+	ox, oy := o.Center()
+	return math.Hypot(rx-ox, ry-oy)
+}
+
+// BoundingBox returns the smallest rectangle containing all given
+// rectangles. It panics on an empty input since that has no meaningful
+// answer.
+func BoundingBox(rects []Rect) Rect {
+	if len(rects) == 0 {
+		panic("geom: BoundingBox of empty slice")
+	}
+	minX, minY := rects[0].X, rects[0].Y
+	maxX, maxY := rects[0].Right(), rects[0].Top()
+	for _, r := range rects[1:] {
+		minX = math.Min(minX, r.X)
+		minY = math.Min(minY, r.Y)
+		maxX = math.Max(maxX, r.Right())
+		maxY = math.Max(maxY, r.Top())
+	}
+	return Rect{X: minX, Y: minY, W: maxX - minX, H: maxY - minY}
+}
+
+// TotalArea returns the summed area of the rectangles (overlap counted
+// twice; callers should validate non-overlap first when that matters).
+func TotalArea(rects []Rect) float64 {
+	var a float64
+	for _, r := range rects {
+		a += r.Area()
+	}
+	return a
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= Eps }
+
+// overlap1D returns the length of the overlap of intervals [a0,a1] and
+// [b0,b1], clamped at zero.
+func overlap1D(a0, a1, b0, b1 float64) float64 {
+	lo := math.Max(a0, b0)
+	hi := math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,215 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectValidation(t *testing.T) {
+	cases := []struct {
+		name       string
+		x, y, w, h float64
+		ok         bool
+	}{
+		{"valid", 0, 0, 1e-3, 2e-3, true},
+		{"zero width", 0, 0, 0, 1, false},
+		{"negative height", 0, 0, 1, -1, false},
+		{"nan", math.NaN(), 0, 1, 1, false},
+		{"inf", 0, math.Inf(1), 1, 1, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewRect(c.x, c.y, c.w, c.h)
+			if (err == nil) != c.ok {
+				t.Fatalf("NewRect(%v,%v,%v,%v) err=%v, want ok=%v", c.x, c.y, c.w, c.h, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{X: 1, Y: 2, W: 3, H: 4}
+	if got := r.Area(); got != 12 {
+		t.Errorf("Area = %v, want 12", got)
+	}
+	if got := r.Right(); got != 4 {
+		t.Errorf("Right = %v, want 4", got)
+	}
+	if got := r.Top(); got != 6 {
+		t.Errorf("Top = %v, want 6", got)
+	}
+	cx, cy := r.Center()
+	if cx != 2.5 || cy != 4 {
+		t.Errorf("Center = (%v,%v), want (2.5,4)", cx, cy)
+	}
+	if !r.Contains(2.5, 4) {
+		t.Error("Contains(center) = false, want true")
+	}
+	if r.Contains(0, 0) {
+		t.Error("Contains(0,0) = true, want false")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	cases := []struct {
+		name string
+		b    Rect
+		want bool
+	}{
+		{"disjoint", Rect{3, 3, 1, 1}, false},
+		{"touching edge", Rect{2, 0, 1, 2}, false},
+		{"touching corner", Rect{2, 2, 1, 1}, false},
+		{"overlapping", Rect{1, 1, 2, 2}, true},
+		{"contained", Rect{0.5, 0.5, 1, 1}, true},
+		{"identical", a, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := a.Overlaps(c.b); got != c.want {
+				t.Errorf("Overlaps = %v, want %v", got, c.want)
+			}
+			if got := c.b.Overlaps(a); got != c.want {
+				t.Errorf("Overlaps (reversed) = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestSharedEdge(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	cases := []struct {
+		name string
+		b    Rect
+		want float64
+	}{
+		{"full right edge", Rect{2, 0, 1, 2}, 2},
+		{"partial right edge", Rect{2, 1, 1, 3}, 1},
+		{"top edge", Rect{0.5, 2, 1, 1}, 1},
+		{"corner only", Rect{2, 2, 1, 1}, 0},
+		{"disjoint", Rect{5, 5, 1, 1}, 0},
+		{"left edge", Rect{-1, 0.5, 1, 1}, 1},
+		{"bottom edge", Rect{0, -1, 2, 1}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := a.SharedEdge(c.b); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("SharedEdge = %v, want %v", got, c.want)
+			}
+			if got := c.b.SharedEdge(a); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("SharedEdge (reversed) = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestCenterDistance(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{3, 4, 2, 2}
+	// centers (1,1) and (4,5): distance 5.
+	if got := a.CenterDistance(b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("CenterDistance = %v, want 5", got)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	rects := []Rect{{0, 0, 1, 1}, {2, 3, 1, 2}, {-1, 1, 0.5, 0.5}}
+	bb := BoundingBox(rects)
+	want := Rect{-1, 0, 4, 5}
+	if math.Abs(bb.X-want.X) > 1e-12 || math.Abs(bb.Y-want.Y) > 1e-12 ||
+		math.Abs(bb.W-want.W) > 1e-12 || math.Abs(bb.H-want.H) > 1e-12 {
+		t.Errorf("BoundingBox = %+v, want %+v", bb, want)
+	}
+}
+
+func TestBoundingBoxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BoundingBox(nil) did not panic")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+func TestTotalArea(t *testing.T) {
+	rects := []Rect{{0, 0, 1, 1}, {5, 5, 2, 3}}
+	if got := TotalArea(rects); math.Abs(got-7) > 1e-12 {
+		t.Errorf("TotalArea = %v, want 7", got)
+	}
+	if got := TotalArea(nil); got != 0 {
+		t.Errorf("TotalArea(nil) = %v, want 0", got)
+	}
+}
+
+// randomRect generates rectangles with coordinates in a few-millimeter range,
+// mirroring realistic floorplans.
+func randomRect(r *rand.Rand) Rect {
+	return Rect{
+		X: r.Float64() * 1e-2,
+		Y: r.Float64() * 1e-2,
+		W: r.Float64()*1e-3 + 1e-5,
+		H: r.Float64()*1e-3 + 1e-5,
+	}
+}
+
+func TestOverlapsSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomRect(rr), randomRect(rr)
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedEdgeSymmetricAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomRect(rr), randomRect(rr)
+		sa, sb := a.SharedEdge(b), b.SharedEdge(a)
+		if math.Abs(sa-sb) > 1e-12 {
+			return false
+		}
+		// Shared edge cannot exceed either rectangle's perimeter half.
+		maxEdge := math.Max(math.Max(a.W, a.H), math.Max(b.W, b.H))
+		return sa >= 0 && sa <= maxEdge+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundingBoxContainsAll(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := rr.Intn(8) + 1
+		rects := make([]Rect, n)
+		for i := range rects {
+			rects[i] = randomRect(rr)
+		}
+		bb := BoundingBox(rects)
+		for _, rc := range rects {
+			if !bb.Contains(rc.X, rc.Y) || !bb.Contains(rc.Right(), rc.Top()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainsCorners(t *testing.T) {
+	r := Rect{1, 1, 2, 2}
+	corners := [][2]float64{{1, 1}, {3, 1}, {1, 3}, {3, 3}}
+	for _, c := range corners {
+		if !r.Contains(c[0], c[1]) {
+			t.Errorf("Contains(%v,%v) = false, want true (corners inclusive)", c[0], c[1])
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package merit implements the figure of merit the paper calls for in its
+// future work (§6: "a figure of merit is needed to help in analyzing DTM
+// performance and cooling capability" — and §5.1: "we would eventually
+// like a figure of merit that is an a-priori measure of cooling"). It
+// estimates, without running the coupled simulation, what a DTM setting
+// can do: the steady-state reduction of the hotspot temperature at full
+// engagement, the slowdown the setting costs, and their ratio — degrees of
+// cooling per percent of performance.
+//
+// The estimates come from the same physical models the simulator uses (the
+// power model and the thermal RC network) plus a first-order throughput
+// model of fetch gating: gating is free while the gated fetch supply still
+// covers the workload's IPC, and costs proportionally beyond that point.
+// Comparing the merit curves of fetch gating and DVS predicts the hybrid
+// crossover analytically.
+package merit
+
+import (
+	"fmt"
+
+	"hybriddtm/internal/dvfs"
+	"hybriddtm/internal/floorplan"
+	"hybriddtm/internal/hotspot"
+	"hybriddtm/internal/power"
+)
+
+// Input bundles the models and the workload operating point the estimates
+// are computed for.
+type Input struct {
+	Floorplan *floorplan.Floorplan
+	Power     *power.Model
+	Thermal   *hotspot.Model
+	Tech      dvfs.Technology
+
+	// Activity is the workload's per-block activity vector at full speed
+	// (e.g. measured over an interval of unthrottled execution).
+	Activity []float64
+	// IPC is the workload's unthrottled throughput.
+	IPC float64
+	// FetchSupply is the front end's effective delivery rate in
+	// instructions per cycle (below the nominal fetch width because of
+	// taken-branch group breaks and I-cache stalls). Gating is hidden by
+	// ILP while FetchSupply·(1−gate) ≥ IPC.
+	FetchSupply float64
+}
+
+// Validate checks the input.
+func (in Input) Validate() error {
+	if in.Floorplan == nil || in.Power == nil || in.Thermal == nil {
+		return fmt.Errorf("merit: nil model in input")
+	}
+	if len(in.Activity) != in.Floorplan.NumBlocks() {
+		return fmt.Errorf("merit: activity length %d for %d blocks",
+			len(in.Activity), in.Floorplan.NumBlocks())
+	}
+	if !(in.IPC > 0) {
+		return fmt.Errorf("merit: non-positive IPC %v", in.IPC)
+	}
+	if !(in.FetchSupply >= in.IPC) {
+		return fmt.Errorf("merit: fetch supply %v below IPC %v", in.FetchSupply, in.IPC)
+	}
+	return in.Tech.Validate()
+}
+
+// Capability is the a-priori evaluation of one technique setting.
+type Capability struct {
+	Technique string
+	Setting   float64 // gate fraction, or low-voltage fraction of nominal
+
+	// DeltaT is the predicted steady-state reduction of the hottest
+	// block's temperature with the technique fully engaged, °C.
+	DeltaT float64
+	// Slowdown is the predicted execution-time factor (≥ 1).
+	Slowdown float64
+	// Merit is cooling per unit overhead: DeltaT / (Slowdown − 1),
+	// infinite when the setting is predicted to be free.
+	Merit float64
+}
+
+// hotspotTemp solves the leakage-aware steady state for the given activity
+// and operating point and returns the hottest block temperature.
+func hotspotTemp(in Input, activity []float64, v, f float64) (float64, error) {
+	n := in.Floorplan.NumBlocks()
+	temps := make([]float64, n)
+	for i := range temps {
+		temps[i] = 60
+	}
+	var p []float64
+	var err error
+	for iter := 0; iter < 12; iter++ {
+		p, err = in.Power.Compute(p, activity, 1, v, f, temps)
+		if err != nil {
+			return 0, err
+		}
+		next, err := in.Thermal.SteadyState(p)
+		if err != nil {
+			return 0, err
+		}
+		copy(temps, next)
+	}
+	maxT := temps[0]
+	for _, t := range temps[1:] {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return maxT, nil
+}
+
+func capability(in Input, name string, setting float64, activity []float64, v, f, slowdown float64) (Capability, error) {
+	base, err := hotspotTemp(in, in.Activity, in.Tech.VNominal, in.Tech.FNominal)
+	if err != nil {
+		return Capability{}, err
+	}
+	throttled, err := hotspotTemp(in, activity, v, f)
+	if err != nil {
+		return Capability{}, err
+	}
+	c := Capability{
+		Technique: name,
+		Setting:   setting,
+		DeltaT:    base - throttled,
+		Slowdown:  slowdown,
+	}
+	if overhead := slowdown - 1; overhead > 1e-9 {
+		c.Merit = c.DeltaT / overhead
+	} else if c.DeltaT > 0 {
+		c.Merit = positiveInf
+	}
+	return c, nil
+}
+
+const positiveInf = 1e300 // avoids math.Inf in rendered tables
+
+// DVS evaluates the binary-DVS low setting at vFrac of nominal voltage.
+// Slowdown is the frequency ratio (the per-switch stall is a dynamic cost
+// the a-priori metric cannot see; the paper's hybrids exist to avoid it).
+func DVS(in Input, vFrac float64) (Capability, error) {
+	if err := in.Validate(); err != nil {
+		return Capability{}, err
+	}
+	if !(vFrac > 0 && vFrac < 1) {
+		return Capability{}, fmt.Errorf("merit: voltage fraction %v outside (0,1)", vFrac)
+	}
+	v := vFrac * in.Tech.VNominal
+	f := in.Tech.Frequency(v)
+	if f <= 0 {
+		return Capability{}, fmt.Errorf("merit: voltage %v below threshold", v)
+	}
+	// Frequency scaling leaves per-cycle activity unchanged; the power
+	// model applies the V²f factor itself.
+	return capability(in, "dvs", vFrac, in.Activity, v, f, in.Tech.FNominal/f)
+}
+
+// FrontEndBlocks are gated directly by fetch gating; every other block's
+// activity falls only as far as throughput does.
+var FrontEndBlocks = []string{floorplan.ICache, floorplan.BPred, floorplan.ITB}
+
+// FetchGate evaluates fetch gating at the given gated fraction.
+func FetchGate(in Input, gate float64) (Capability, error) {
+	if err := in.Validate(); err != nil {
+		return Capability{}, err
+	}
+	if gate < 0 || gate >= 1 {
+		return Capability{}, fmt.Errorf("merit: gate fraction %v outside [0,1)", gate)
+	}
+	// Throughput model: free until the gated fetch supply binds.
+	supply := in.FetchSupply * (1 - gate)
+	throughput := 1.0
+	if supply < in.IPC {
+		throughput = supply / in.IPC
+	}
+	activity := make([]float64, len(in.Activity))
+	copy(activity, in.Activity)
+	front := make(map[int]bool, len(FrontEndBlocks))
+	for _, name := range FrontEndBlocks {
+		if i := in.Floorplan.Index(name); i >= 0 {
+			front[i] = true
+		}
+	}
+	for i := range activity {
+		if front[i] {
+			activity[i] *= 1 - gate // fetch stage gated directly
+		} else {
+			activity[i] *= throughput // everything else follows throughput
+		}
+	}
+	return capability(in, "fg", gate, activity, in.Tech.VNominal, in.Tech.FNominal, 1/throughput)
+}
+
+// PredictCrossover sweeps fetch-gating fractions and returns the largest
+// gate whose merit still beats the DVS low setting's merit — the analytic
+// counterpart of the paper's empirical Figure 3a search. Returns 0 when
+// even the mildest gating loses to DVS.
+func PredictCrossover(in Input, vFrac float64, gates []float64) (float64, error) {
+	dvs, err := DVS(in, vFrac)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for _, g := range gates {
+		fg, err := FetchGate(in, g)
+		if err != nil {
+			return 0, err
+		}
+		if fg.Merit >= dvs.Merit && g > best {
+			best = g
+		}
+	}
+	return best, nil
+}

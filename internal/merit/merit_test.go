@@ -1,0 +1,215 @@
+package merit
+
+import (
+	"math"
+	"testing"
+
+	"hybriddtm/internal/dvfs"
+	"hybriddtm/internal/floorplan"
+	"hybriddtm/internal/hotspot"
+	"hybriddtm/internal/power"
+)
+
+func testInput(t *testing.T) Input {
+	t.Helper()
+	fp := floorplan.EV6()
+	tech := dvfs.Default130nm()
+	pm, err := power.NewModel(fp, tech, power.EV6Spec(), power.DefaultLeakage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := hotspot.NewModel(fp, hotspot.DefaultPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A gzip-like operating point: busy front end and integer core.
+	act := make([]float64, fp.NumBlocks())
+	for i := range act {
+		act[i] = 0.15
+	}
+	act[fp.Index(floorplan.ICache)] = 0.6
+	act[fp.Index(floorplan.DCache)] = 0.4
+	act[fp.Index(floorplan.IntReg)] = 0.4
+	act[fp.Index(floorplan.IntExec)] = 0.4
+	act[fp.Index(floorplan.IntQ)] = 0.35
+	return Input{
+		Floorplan:   fp,
+		Power:       pm,
+		Thermal:     tm,
+		Tech:        tech,
+		Activity:    act,
+		IPC:         2.2,
+		FetchSupply: 2.9,
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	in := testInput(t)
+	bad := in
+	bad.Activity = bad.Activity[:3]
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted short activity")
+	}
+	bad = in
+	bad.IPC = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero IPC")
+	}
+	bad = in
+	bad.FetchSupply = bad.IPC / 2
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted supply below IPC")
+	}
+	bad = in
+	bad.Power = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted nil power model")
+	}
+}
+
+func TestDVSCapability(t *testing.T) {
+	in := testInput(t)
+	c, err := DVS(in, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DeltaT <= 0 {
+		t.Errorf("DVS at 85%% predicts no cooling: %+v", c)
+	}
+	if c.DeltaT > 20 {
+		t.Errorf("DVS cooling %v °C implausibly large", c.DeltaT)
+	}
+	// Slowdown is the inverse frequency ratio: ~1.14 at 85% voltage.
+	want := in.Tech.FNominal / in.Tech.Frequency(0.85*in.Tech.VNominal)
+	if math.Abs(c.Slowdown-want) > 1e-9 {
+		t.Errorf("slowdown %v, want %v", c.Slowdown, want)
+	}
+	if c.Merit <= 0 {
+		t.Errorf("merit %v not positive", c.Merit)
+	}
+	// A deeper setting cools more but costs more.
+	deep, err := DVS(in, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.DeltaT <= c.DeltaT {
+		t.Errorf("deeper DVS cools less: %v vs %v", deep.DeltaT, c.DeltaT)
+	}
+	if deep.Slowdown <= c.Slowdown {
+		t.Errorf("deeper DVS not slower: %v vs %v", deep.Slowdown, c.Slowdown)
+	}
+}
+
+func TestDVSValidation(t *testing.T) {
+	in := testInput(t)
+	if _, err := DVS(in, 0); err == nil {
+		t.Error("accepted zero voltage fraction")
+	}
+	if _, err := DVS(in, 1); err == nil {
+		t.Error("accepted nominal voltage as low setting")
+	}
+	if _, err := DVS(in, 0.1); err == nil {
+		t.Error("accepted sub-threshold voltage")
+	}
+}
+
+func TestFetchGateFreeRegion(t *testing.T) {
+	// Gating below the knee: supply·(1−g) ≥ IPC ⇒ slowdown 1, cooling from
+	// the front-end blocks only, merit effectively infinite.
+	in := testInput(t)
+	c, err := FetchGate(in, 0.1) // supply 2.9·0.9 = 2.61 ≥ 2.2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Slowdown != 1 {
+		t.Errorf("sub-knee gating predicted slowdown %v, want 1", c.Slowdown)
+	}
+	if c.DeltaT <= 0 {
+		t.Errorf("sub-knee gating predicts no cooling: %+v", c)
+	}
+	if c.Merit < 1e100 {
+		t.Errorf("free cooling should have unbounded merit, got %v", c.Merit)
+	}
+}
+
+func TestFetchGateBeyondKnee(t *testing.T) {
+	in := testInput(t)
+	// gate 0.5: supply 1.45 < IPC 2.2 ⇒ throughput 0.659, slowdown 1.517.
+	c, err := FetchGate(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := in.IPC / (in.FetchSupply * 0.5)
+	if math.Abs(c.Slowdown-want) > 1e-9 {
+		t.Errorf("slowdown %v, want %v", c.Slowdown, want)
+	}
+	if c.DeltaT <= 0 || c.Merit <= 0 || c.Merit > 1e100 {
+		t.Errorf("implausible capability: %+v", c)
+	}
+	// Deeper gating cools more.
+	deeper, err := FetchGate(in, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deeper.DeltaT <= c.DeltaT {
+		t.Errorf("deeper gating cools less: %v vs %v", deeper.DeltaT, c.DeltaT)
+	}
+}
+
+func TestFetchGateValidation(t *testing.T) {
+	in := testInput(t)
+	if _, err := FetchGate(in, -0.1); err == nil {
+		t.Error("accepted negative gate")
+	}
+	if _, err := FetchGate(in, 1); err == nil {
+		t.Error("accepted gate of 1")
+	}
+}
+
+func TestPredictCrossover(t *testing.T) {
+	// The analytic crossover: mild gating (free) always beats DVS; gating
+	// far beyond the knee loses. The predicted crossover must sit a little
+	// past the knee (1 − IPC/supply ≈ 0.24).
+	in := testInput(t)
+	gates := []float64{0.05, 0.1, 0.2, 0.25, 1.0 / 3, 0.4, 0.5, 2.0 / 3}
+	cross, err := PredictCrossover(in, 0.85, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knee := 1 - in.IPC/in.FetchSupply
+	if cross < knee-0.05 {
+		t.Errorf("crossover %v below the knee %v", cross, knee)
+	}
+	if cross > 0.55 {
+		t.Errorf("crossover %v implausibly deep", cross)
+	}
+	// Free settings must always win: the crossover is at least the largest
+	// free gate in the sweep.
+	if cross < 0.2 {
+		t.Errorf("crossover %v below the free region", cross)
+	}
+}
+
+func TestMeritOrderingAtPaperSettings(t *testing.T) {
+	// At the hybrid's operating points: mild FG beats DVS on merit, severe
+	// FG loses to DVS — the inequality pair that justifies the hybrid.
+	in := testInput(t)
+	dvs, err := DVS(in, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mild, err := FetchGate(in, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	severe, err := FetchGate(in, 2.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mild.Merit <= dvs.Merit {
+		t.Errorf("mild FG merit %v not above DVS merit %v", mild.Merit, dvs.Merit)
+	}
+	if severe.Merit >= dvs.Merit {
+		t.Errorf("severe FG merit %v not below DVS merit %v", severe.Merit, dvs.Merit)
+	}
+}

@@ -1,0 +1,307 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybriddtm/internal/dvfs"
+	"hybriddtm/internal/floorplan"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(floorplan.EV6(), dvfs.Default130nm(), EV6Spec(), DefaultLeakage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	fp := floorplan.EV6()
+	tech := dvfs.Default130nm()
+	leak := DefaultLeakage()
+
+	if _, err := NewModel(fp, tech, EV6Spec()[:5], leak); err == nil {
+		t.Error("accepted too few specs")
+	}
+	bad := EV6Spec()
+	bad[0].Name = "nonexistent"
+	if _, err := NewModel(fp, tech, bad, leak); err == nil {
+		t.Error("accepted unknown block name")
+	}
+	bad = EV6Spec()
+	bad[1] = bad[0] // duplicate
+	if _, err := NewModel(fp, tech, bad, leak); err == nil {
+		t.Error("accepted duplicate spec")
+	}
+	bad = EV6Spec()
+	bad[0].PeakDynamic = -1
+	if _, err := NewModel(fp, tech, bad, leak); err == nil {
+		t.Error("accepted negative peak power")
+	}
+	bad = EV6Spec()
+	bad[0].IdleFrac = 1.5
+	if _, err := NewModel(fp, tech, bad, leak); err == nil {
+		t.Error("accepted idle fraction > 1")
+	}
+	badLeak := leak
+	badLeak.TotalAtRef = -1
+	if _, err := NewModel(fp, tech, EV6Spec(), badLeak); err == nil {
+		t.Error("accepted negative leakage")
+	}
+}
+
+func TestSpecCoversEV6(t *testing.T) {
+	fp := floorplan.EV6()
+	specs := EV6Spec()
+	if len(specs) != fp.NumBlocks() {
+		t.Fatalf("spec has %d entries, floorplan has %d blocks", len(specs), fp.NumBlocks())
+	}
+}
+
+func TestPeakTotalReasonable(t *testing.T) {
+	m := newModel(t)
+	total := m.PeakTotal()
+	// An aggressive 0.13µm 3GHz chip: tens of watts peak dynamic.
+	if total < 40 || total > 90 {
+		t.Errorf("peak total %v W outside plausible [40, 90] band", total)
+	}
+}
+
+func TestIntRegHighestDensity(t *testing.T) {
+	// The integer register file must have the highest peak power density so
+	// it becomes the hotspot (§3).
+	m := newModel(t)
+	fp := floorplan.EV6()
+	iReg := fp.Index(floorplan.IntReg)
+	dReg := m.PeakDynamic(iReg) / fp.Block(iReg).Rect.Area()
+	for i := 0; i < fp.NumBlocks(); i++ {
+		if i == iReg {
+			continue
+		}
+		d := m.PeakDynamic(i) / fp.Block(i).Rect.Area()
+		if d >= dReg {
+			t.Errorf("block %s density %.3g >= IntReg density %.3g",
+				fp.Block(i).Name, d, dReg)
+		}
+	}
+}
+
+func TestComputeNominalFullActivity(t *testing.T) {
+	m := newModel(t)
+	tech := dvfs.Default130nm()
+	n := m.NumBlocks()
+	act := make([]float64, n)
+	for i := range act {
+		act[i] = 1
+	}
+	p, err := m.Compute(nil, act, 1, tech.VNominal, tech.FNominal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full activity, no leakage: power equals peak per block.
+	for i := range p {
+		if math.Abs(p[i]-m.PeakDynamic(i)) > 1e-9 {
+			t.Errorf("block %d: %v, want peak %v", i, p[i], m.PeakDynamic(i))
+		}
+	}
+}
+
+func TestComputeIdle(t *testing.T) {
+	m := newModel(t)
+	tech := dvfs.Default130nm()
+	n := m.NumBlocks()
+	act := make([]float64, n)
+	p, err := m.Compute(nil, act, 1, tech.VNominal, tech.FNominal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero activity with clock running: idle fraction of peak.
+	specs := EV6Spec()
+	fp := floorplan.EV6()
+	for _, s := range specs {
+		i := fp.Index(s.Name)
+		want := s.PeakDynamic * s.IdleFrac
+		if math.Abs(p[i]-want) > 1e-9 {
+			t.Errorf("block %s idle power %v, want %v", s.Name, p[i], want)
+		}
+	}
+}
+
+func TestClockGatingKillsIdlePower(t *testing.T) {
+	m := newModel(t)
+	tech := dvfs.Default130nm()
+	n := m.NumBlocks()
+	act := make([]float64, n)
+	p, err := m.Compute(nil, act, 0, tech.VNominal, tech.FNominal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if p[i] != 0 {
+			t.Errorf("block %d burns %v W with clock stopped and no leakage", i, p[i])
+		}
+	}
+}
+
+func TestActivityClampedToClockFrac(t *testing.T) {
+	m := newModel(t)
+	tech := dvfs.Default130nm()
+	n := m.NumBlocks()
+	actHigh := make([]float64, n)
+	actHalf := make([]float64, n)
+	for i := range actHigh {
+		actHigh[i] = 1.0 // claims full activity
+		actHalf[i] = 0.5
+	}
+	pH, err := m.Compute(nil, actHigh, 0.5, tech.VNominal, tech.FNominal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pC, err := m.Compute(nil, actHalf, 0.5, tech.VNominal, tech.FNominal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pH {
+		if math.Abs(pH[i]-pC[i]) > 1e-12 {
+			t.Errorf("block %d: activity not clamped to clock fraction", i)
+		}
+	}
+}
+
+func TestDVSReducesPowerCubically(t *testing.T) {
+	m := newModel(t)
+	tech := dvfs.Default130nm()
+	n := m.NumBlocks()
+	act := make([]float64, n)
+	for i := range act {
+		act[i] = 0.6
+	}
+	v := 0.85 * tech.VNominal
+	f := tech.Frequency(v)
+	pNom, err := m.Compute(nil, act, 1, tech.VNominal, tech.FNominal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLow, err := m.Compute(nil, act, 1, v, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := Total(pLow) / Total(pNom)
+	want := tech.DynamicScale(v)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("DVS power ratio %v, want DynamicScale %v", ratio, want)
+	}
+	if ratio >= f/tech.FNominal {
+		t.Errorf("power ratio %v not below frequency ratio %v (cubic advantage lost)",
+			ratio, f/tech.FNominal)
+	}
+}
+
+func TestLeakageGrowsWithTemperature(t *testing.T) {
+	m := newModel(t)
+	tech := dvfs.Default130nm()
+	n := m.NumBlocks()
+	act := make([]float64, n)
+	cold := make([]float64, n)
+	hot := make([]float64, n)
+	for i := range cold {
+		cold[i] = 55
+		hot[i] = 85
+	}
+	pCold, err := m.Compute(nil, act, 0, tech.VNominal, tech.FNominal, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHot, err := m.Compute(nil, act, 0, tech.VNominal, tech.FNominal, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30K increase doubles leakage with the default beta.
+	if r := Total(pHot) / Total(pCold); math.Abs(r-2) > 0.01 {
+		t.Errorf("leakage ratio over 30K = %v, want ≈2", r)
+	}
+	// At reference temperature the chip-wide leakage equals the configured
+	// total.
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = DefaultLeakage().TRef
+	}
+	pRef, err := m.Compute(nil, act, 0, tech.VNominal, tech.FNominal, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Total(pRef); math.Abs(got-DefaultLeakage().TotalAtRef) > 1e-9 {
+		t.Errorf("leakage at TRef = %v, want %v", got, DefaultLeakage().TotalAtRef)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	m := newModel(t)
+	tech := dvfs.Default130nm()
+	n := m.NumBlocks()
+	act := make([]float64, n)
+	if _, err := m.Compute(nil, act[:3], 1, tech.VNominal, tech.FNominal, nil); err == nil {
+		t.Error("accepted short activity vector")
+	}
+	if _, err := m.Compute(nil, act, 1.5, tech.VNominal, tech.FNominal, nil); err == nil {
+		t.Error("accepted clock fraction > 1")
+	}
+	if _, err := m.Compute(nil, act, 1, tech.VNominal, tech.FNominal, make([]float64, 2)); err == nil {
+		t.Error("accepted short temps vector")
+	}
+	act[0] = -0.5
+	if _, err := m.Compute(nil, act, 1, tech.VNominal, tech.FNominal, nil); err == nil {
+		t.Error("accepted negative activity")
+	}
+}
+
+func TestPowerMonotoneInActivity(t *testing.T) {
+	m := newModel(t)
+	tech := dvfs.Default130nm()
+	n := m.NumBlocks()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1 := make([]float64, n)
+		a2 := make([]float64, n)
+		for i := range a1 {
+			a1[i] = rng.Float64()
+			a2[i] = a1[i] + (1-a1[i])*rng.Float64() // a2 >= a1
+		}
+		p1, err := m.Compute(nil, a1, 1, tech.VNominal, tech.FNominal, nil)
+		if err != nil {
+			return false
+		}
+		p2, err := m.Compute(nil, a2, 1, tech.VNominal, tech.FNominal, nil)
+		if err != nil {
+			return false
+		}
+		for i := range p1 {
+			if p2[i] < p1[i]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDstReuse(t *testing.T) {
+	m := newModel(t)
+	tech := dvfs.Default130nm()
+	n := m.NumBlocks()
+	act := make([]float64, n)
+	buf := make([]float64, n)
+	out, err := m.Compute(buf, act, 1, tech.VNominal, tech.FNominal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[0] {
+		t.Error("Compute reallocated despite sufficient dst")
+	}
+}

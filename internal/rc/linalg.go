@@ -1,0 +1,136 @@
+package rc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LU holds an LU factorization with partial pivoting of a dense square
+// matrix, for repeatedly solving A x = b with different right-hand sides.
+// Thermal stepping with implicit integrators re-solves against the same
+// matrix every step, so factoring once matters.
+type LU struct {
+	lu   [][]float64 // combined L (unit lower) and U factors
+	piv  []int       // row permutation
+	n    int
+	sign int
+}
+
+// Factor computes the LU factorization of a (which is copied, not modified).
+// It returns an error if the matrix is singular to working precision.
+func Factor(a [][]float64) (*LU, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("rc: empty matrix")
+	}
+	lu := make([][]float64, n)
+	for i := range lu {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("rc: matrix not square: row %d has %d cols, want %d", i, len(a[i]), n)
+		}
+		lu[i] = append([]float64(nil), a[i]...)
+	}
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	f := &LU{lu: lu, piv: piv, n: n, sign: 1}
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at or below row k.
+		p, maxv := k, math.Abs(lu[k][k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i][k]); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 || math.IsNaN(maxv) {
+			return nil, fmt.Errorf("rc: singular matrix at pivot %d", k)
+		}
+		if p != k {
+			lu[p], lu[k] = lu[k], lu[p]
+			piv[p], piv[k] = piv[k], piv[p]
+			f.sign = -f.sign
+		}
+		pivVal := lu[k][k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i][k] / pivVal
+			lu[i][k] = m
+			if m == 0 {
+				continue
+			}
+			row, krow := lu[i], lu[k]
+			for j := k + 1; j < n; j++ {
+				row[j] -= m * krow[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b and returns x. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("rc: rhs length %d, want %d", len(b), f.n)
+	}
+	x := make([]float64, f.n)
+	f.SolveInto(x, b)
+	return x, nil
+}
+
+// SolveInto solves A x = b writing the result into x. x and b must both have
+// length n; x and b may alias.
+func (f *LU) SolveInto(x, b []float64) {
+	n := f.n
+	// Apply permutation.
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower factor.
+	for i := 1; i < n; i++ {
+		s := tmp[i]
+		row := f.lu[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * tmp[j]
+		}
+		tmp[i] = s
+	}
+	// Back substitution with upper factor.
+	for i := n - 1; i >= 0; i-- {
+		s := tmp[i]
+		row := f.lu[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * tmp[j]
+		}
+		tmp[i] = s / row[i]
+	}
+	copy(x, tmp)
+}
+
+// SolveLinear is a convenience: factor a and solve a single system.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// MatVec computes y = A x for a dense matrix.
+func MatVec(a [][]float64, x []float64) []float64 {
+	y := make([]float64, len(a))
+	MatVecInto(y, a, x)
+	return y
+}
+
+// MatVecInto computes y = A x into an existing slice. y must not alias x.
+func MatVecInto(y []float64, a [][]float64, x []float64) {
+	for i, row := range a {
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}

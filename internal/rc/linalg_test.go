@@ -1,0 +1,156 @@
+package rc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorSolveKnown(t *testing.T) {
+	a := [][]float64{
+		{2, 1, 0},
+		{1, 3, 1},
+		{0, 1, 2},
+	}
+	b := []float64{3, 5, 3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestFactorNeedsPivoting(t *testing.T) {
+	// Zero leading pivot: fails without partial pivoting.
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, err := Factor(a); err == nil {
+		t.Error("Factor accepted singular matrix")
+	}
+}
+
+func TestFactorRejectsBadShapes(t *testing.T) {
+	if _, err := Factor(nil); err == nil {
+		t.Error("Factor accepted empty matrix")
+	}
+	if _, err := Factor([][]float64{{1, 2}}); err == nil {
+		t.Error("Factor accepted non-square matrix")
+	}
+}
+
+func TestSolveWrongLength(t *testing.T) {
+	f, err := Factor([][]float64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Error("Solve accepted wrong-length rhs")
+	}
+}
+
+func TestSolveReusesFactorization(t *testing.T) {
+	a := [][]float64{
+		{4, 1},
+		{1, 3},
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]float64{{5, 4}, {1, 0}, {0, 1}} {
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax := MatVec(a, x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-10 {
+				t.Errorf("residual for b=%v: Ax=%v", b, ax)
+			}
+		}
+	}
+}
+
+// TestSolveRandomSPD checks A x = b round trips on random diagonally
+// dominant matrices (the class produced by RC networks).
+func TestSolveRandomSPD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				c := rng.Float64()
+				a[i][j] = -c
+				a[j][i] = -c
+				a[i][i] += c
+				a[j][j] += c
+			}
+			a[i][i] += 0.1 + rng.Float64() // ambient-like term keeps it nonsingular
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		ax := MatVec(a, x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := [][]float64{{1, 2}, {3, 4}}
+	y := MatVec(a, []float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MatVec = %v, want [3 7]", y)
+	}
+}
+
+func TestSolveIntoAliasing(t *testing.T) {
+	a := [][]float64{{2, 0}, {0, 4}}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{2, 8}
+	f.SolveInto(x, x) // aliased in/out must work
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("aliased SolveInto = %v, want [1 2]", x)
+	}
+}

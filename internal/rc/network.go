@@ -1,0 +1,333 @@
+// Package rc implements compact thermal RC networks of the kind used by the
+// HotSpot model: nodes with thermal capacitance, connected by thermal
+// resistances to each other and to the ambient. It provides transient
+// integration (explicit RK4 with automatic sub-stepping, and backward Euler
+// with factorization caching) and a direct steady-state solve.
+//
+// The state variable is the temperature rise θ above ambient, so the ODE is
+//
+//	C dθ/dt = P − G θ
+//
+// where G is the symmetric, weakly diagonally dominant conductance matrix
+// (off-diagonal entries are −1/R between node pairs; the diagonal collects
+// the node's total conductance including its path to ambient) and P is the
+// power injected at each node in watts.
+package rc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Network is a thermal RC network under construction or in use. Build it
+// with NewNetwork / AddResistance / AddToAmbient, then call Finalize before
+// stepping or solving.
+type Network struct {
+	names []string
+	cap   []float64   // thermal capacitance per node, J/K
+	g     [][]float64 // conductance matrix, W/K
+	gAmb  []float64   // conductance to ambient per node, W/K
+
+	finalized bool
+
+	// Integrator state, allocated lazily.
+	beCache map[float64]*LU // backward-Euler factorizations keyed by dt
+	k1, k2  []float64       // RK4 scratch
+	k3, k4  []float64
+	tmp     []float64
+}
+
+// NewNetwork creates a network with the given node names and capacitances.
+// Every capacitance must be positive: zero-capacitance (purely resistive)
+// nodes should be folded into the resistances by the model builder.
+func NewNetwork(names []string, capacitance []float64) (*Network, error) {
+	n := len(names)
+	if n == 0 {
+		return nil, errors.New("rc: network needs at least one node")
+	}
+	if len(capacitance) != n {
+		return nil, fmt.Errorf("rc: %d names but %d capacitances", n, len(capacitance))
+	}
+	for i, c := range capacitance {
+		if !(c > 0) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("rc: node %q capacitance %v not positive finite", names[i], c)
+		}
+	}
+	g := make([][]float64, n)
+	for i := range g {
+		g[i] = make([]float64, n)
+	}
+	return &Network{
+		names: append([]string(nil), names...),
+		cap:   append([]float64(nil), capacitance...),
+		g:     g,
+		gAmb:  make([]float64, n),
+	}, nil
+}
+
+// NumNodes returns the node count.
+func (nw *Network) NumNodes() int { return len(nw.names) }
+
+// NodeName returns the name of node i.
+func (nw *Network) NodeName(i int) string { return nw.names[i] }
+
+// Capacitance returns the thermal capacitance of node i in J/K.
+func (nw *Network) Capacitance(i int) float64 { return nw.cap[i] }
+
+// AddResistance connects nodes i and j with thermal resistance r (K/W).
+// Multiple resistances between the same pair compose in parallel.
+func (nw *Network) AddResistance(i, j int, r float64) error {
+	if nw.finalized {
+		return errors.New("rc: AddResistance after Finalize")
+	}
+	if i == j {
+		return fmt.Errorf("rc: self-resistance on node %d", i)
+	}
+	if err := nw.checkNode(i); err != nil {
+		return err
+	}
+	if err := nw.checkNode(j); err != nil {
+		return err
+	}
+	if !(r > 0) || math.IsInf(r, 0) {
+		return fmt.Errorf("rc: resistance %v between %d and %d not positive finite", r, i, j)
+	}
+	c := 1 / r
+	nw.g[i][j] -= c
+	nw.g[j][i] -= c
+	nw.g[i][i] += c
+	nw.g[j][j] += c
+	return nil
+}
+
+// AddToAmbient connects node i to the ambient through resistance r (K/W).
+func (nw *Network) AddToAmbient(i int, r float64) error {
+	if nw.finalized {
+		return errors.New("rc: AddToAmbient after Finalize")
+	}
+	if err := nw.checkNode(i); err != nil {
+		return err
+	}
+	if !(r > 0) || math.IsInf(r, 0) {
+		return fmt.Errorf("rc: ambient resistance %v on node %d not positive finite", r, i)
+	}
+	c := 1 / r
+	nw.gAmb[i] += c
+	nw.g[i][i] += c
+	return nil
+}
+
+func (nw *Network) checkNode(i int) error {
+	if i < 0 || i >= len(nw.names) {
+		return fmt.Errorf("rc: node index %d out of range [0,%d)", i, len(nw.names))
+	}
+	return nil
+}
+
+// Finalize checks that the network is well posed: at least one path to
+// ambient must exist (otherwise there is no steady state) and the graph must
+// be connected through the conductance matrix. After Finalize the topology
+// is frozen.
+func (nw *Network) Finalize() error {
+	if nw.finalized {
+		return nil
+	}
+	hasAmbient := false
+	for _, ga := range nw.gAmb {
+		if ga > 0 {
+			hasAmbient = true
+			break
+		}
+	}
+	if !hasAmbient {
+		return errors.New("rc: no path to ambient; steady state undefined")
+	}
+	if !nw.connected() {
+		return errors.New("rc: network graph is disconnected")
+	}
+	nw.finalized = true
+	nw.beCache = make(map[float64]*LU)
+	n := len(nw.names)
+	nw.k1 = make([]float64, n)
+	nw.k2 = make([]float64, n)
+	nw.k3 = make([]float64, n)
+	nw.k4 = make([]float64, n)
+	nw.tmp = make([]float64, n)
+	return nil
+}
+
+// connected performs a DFS over nonzero off-diagonal conductances, treating
+// ambient-connected nodes as linked through ambient as well (two separate
+// islands each tied to ambient are physically fine).
+func (nw *Network) connected() bool {
+	n := len(nw.names)
+	seen := make([]bool, n)
+	var stack []int
+	// Seed with node 0 plus every ambient-connected node: ambient joins them.
+	push := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			stack = append(stack, i)
+		}
+	}
+	push(0)
+	for i, ga := range nw.gAmb {
+		if ga > 0 {
+			push(i)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for w := 0; w < n; w++ {
+			if w != v && nw.g[v][w] != 0 {
+				push(w)
+			}
+		}
+	}
+	for _, s := range seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// Conductance returns G[i][j] (W/K): negative of the direct conductance for
+// i≠j, the total node conductance on the diagonal. Exposed for tests.
+func (nw *Network) Conductance(i, j int) float64 { return nw.g[i][j] }
+
+// AmbientConductance returns node i's conductance to ambient (W/K).
+func (nw *Network) AmbientConductance(i int) float64 { return nw.gAmb[i] }
+
+// SteadyState solves G θ = P for the steady-state temperature rise above
+// ambient given the power vector p (W per node).
+func (nw *Network) SteadyState(p []float64) ([]float64, error) {
+	if !nw.finalized {
+		return nil, errors.New("rc: SteadyState before Finalize")
+	}
+	if len(p) != len(nw.names) {
+		return nil, fmt.Errorf("rc: power vector length %d, want %d", len(p), len(nw.names))
+	}
+	return SolveLinear(nw.g, p)
+}
+
+// deriv computes dθ/dt = C⁻¹ (P − G θ) into out.
+func (nw *Network) deriv(out, theta, p []float64) {
+	for i, row := range nw.g {
+		var s float64
+		for j, v := range row {
+			s += v * theta[j]
+		}
+		out[i] = (p[i] - s) / nw.cap[i]
+	}
+}
+
+// maxRate returns a Gershgorin bound on the largest eigenvalue of C⁻¹G,
+// which limits the stable explicit step size.
+func (nw *Network) maxRate() float64 {
+	var maxv float64
+	for i, row := range nw.g {
+		var s float64
+		for j, v := range row {
+			if i == j {
+				s += v
+			} else {
+				s += math.Abs(v)
+			}
+		}
+		if r := s / nw.cap[i]; r > maxv {
+			maxv = r
+		}
+	}
+	return maxv
+}
+
+// StepRK4 advances θ by dt seconds under constant power p using classical
+// RK4, automatically sub-stepping to stay inside the stability region.
+// θ is updated in place.
+func (nw *Network) StepRK4(theta, p []float64, dt float64) error {
+	if !nw.finalized {
+		return errors.New("rc: StepRK4 before Finalize")
+	}
+	if len(theta) != len(nw.names) || len(p) != len(nw.names) {
+		return fmt.Errorf("rc: state/power length mismatch")
+	}
+	if dt <= 0 {
+		return fmt.Errorf("rc: non-positive dt %v", dt)
+	}
+	// RK4 is stable for λh up to ≈2.78; keep a 2× margin for accuracy.
+	hMax := 1.4 / nw.maxRate()
+	steps := int(math.Ceil(dt / hMax))
+	if steps < 1 {
+		steps = 1
+	}
+	h := dt / float64(steps)
+	n := len(theta)
+	for s := 0; s < steps; s++ {
+		nw.deriv(nw.k1, theta, p)
+		for i := 0; i < n; i++ {
+			nw.tmp[i] = theta[i] + 0.5*h*nw.k1[i]
+		}
+		nw.deriv(nw.k2, nw.tmp, p)
+		for i := 0; i < n; i++ {
+			nw.tmp[i] = theta[i] + 0.5*h*nw.k2[i]
+		}
+		nw.deriv(nw.k3, nw.tmp, p)
+		for i := 0; i < n; i++ {
+			nw.tmp[i] = theta[i] + h*nw.k3[i]
+		}
+		nw.deriv(nw.k4, nw.tmp, p)
+		for i := 0; i < n; i++ {
+			theta[i] += h / 6 * (nw.k1[i] + 2*nw.k2[i] + 2*nw.k3[i] + nw.k4[i])
+		}
+	}
+	return nil
+}
+
+// StepBE advances θ by dt seconds under constant power p using backward
+// Euler: (C/dt + G) θ' = C/dt θ + P. Unconditionally stable, first-order
+// accurate, and fast for repeated fixed steps because the factorization is
+// cached per dt. θ is updated in place.
+func (nw *Network) StepBE(theta, p []float64, dt float64) error {
+	if !nw.finalized {
+		return errors.New("rc: StepBE before Finalize")
+	}
+	if len(theta) != len(nw.names) || len(p) != len(nw.names) {
+		return fmt.Errorf("rc: state/power length mismatch")
+	}
+	if dt <= 0 {
+		return fmt.Errorf("rc: non-positive dt %v", dt)
+	}
+	lu, ok := nw.beCache[dt]
+	if !ok {
+		n := len(nw.names)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = append([]float64(nil), nw.g[i]...)
+			a[i][i] += nw.cap[i] / dt
+		}
+		var err error
+		lu, err = Factor(a)
+		if err != nil {
+			return fmt.Errorf("rc: backward Euler factorization: %w", err)
+		}
+		nw.beCache[dt] = lu
+	}
+	for i := range theta {
+		nw.tmp[i] = nw.cap[i]/dt*theta[i] + p[i]
+	}
+	lu.SolveInto(theta, nw.tmp)
+	return nil
+}
+
+// TotalEnergy returns the stored thermal energy Σ Cᵢ θᵢ relative to ambient
+// in joules. With zero input power this is non-increasing; tests rely on it.
+func (nw *Network) TotalEnergy(theta []float64) float64 {
+	var e float64
+	for i, c := range nw.cap {
+		e += c * theta[i]
+	}
+	return e
+}

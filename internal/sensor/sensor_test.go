@@ -1,0 +1,248 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WorstCaseError() != 2.9 {
+		t.Errorf("WorstCaseError = %v, want 2.9 (half-step 0.5 + 0.4 dither + 2 offset)", cfg.WorstCaseError())
+	}
+	if cfg.SamplePeriod() != 1e-4 {
+		t.Errorf("SamplePeriod = %v, want 100µs at 10kHz", cfg.SamplePeriod())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Precision = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted negative precision")
+	}
+	bad = DefaultConfig()
+	bad.SampleRate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero sample rate")
+	}
+}
+
+func TestNewBankValidation(t *testing.T) {
+	if _, err := NewBank(0, DefaultConfig()); err == nil {
+		t.Error("accepted empty bank")
+	}
+	bad := DefaultConfig()
+	bad.MaxOffset = -1
+	if _, err := NewBank(3, bad); err == nil {
+		t.Error("accepted bad config")
+	}
+}
+
+func TestOffsetsWithinBound(t *testing.T) {
+	cfg := DefaultConfig()
+	b, err := NewBank(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spread float64
+	for i := 0; i < b.Size(); i++ {
+		off := b.Offset(i)
+		if math.Abs(off) > cfg.MaxOffset {
+			t.Errorf("sensor %d offset %v exceeds %v", i, off, cfg.MaxOffset)
+		}
+		spread += math.Abs(off)
+	}
+	if spread == 0 {
+		t.Error("all offsets zero; process variation not modeled")
+	}
+}
+
+func TestReadErrorBound(t *testing.T) {
+	cfg := DefaultConfig()
+	b, err := NewBank(16, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, 16)
+	for i := range truth {
+		truth[i] = 70 + float64(i)
+	}
+	var r []float64
+	for k := 0; k < 200; k++ {
+		r, err = b.Read(r, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range r {
+			if math.Abs(r[i]-truth[i]) > cfg.WorstCaseError() {
+				t.Fatalf("sensor %d error %v exceeds worst case %v",
+					i, r[i]-truth[i], cfg.WorstCaseError())
+			}
+		}
+	}
+}
+
+func TestReadQuantized(t *testing.T) {
+	// Without dither the path is deterministic: identical truth gives
+	// identical readings, on the 1 °C quantization grid.
+	cfg := DefaultConfig()
+	cfg.Noise = 0
+	b, err := NewBank(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{80.37}
+	first, err := b.Read(nil, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 20; k++ {
+		r, err := b.Read(nil, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r[0] != first[0] {
+			t.Fatalf("noiseless readings differ: %v vs %v", r[0], first[0])
+		}
+	}
+	if rem := math.Mod(first[0], 1); rem != 0 {
+		t.Errorf("reading %v not on the 1 °C grid", first[0])
+	}
+}
+
+func TestReadNoiseVaries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Noise = 1.5
+	cfg.Precision = 0.1
+	b, err := NewBank(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{80}
+	seen := map[float64]bool{}
+	for k := 0; k < 50; k++ {
+		r, err := b.Read(nil, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[r[0]] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct readings in 50 samples; noise not applied", len(seen))
+	}
+}
+
+func TestReadDeterministicPerSeed(t *testing.T) {
+	mk := func(seed uint64) []float64 {
+		cfg := DefaultConfig()
+		cfg.Noise = 0.8
+		cfg.Seed = seed
+		b, err := NewBank(4, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := []float64{80, 81, 82, 83}
+		var out []float64
+		for k := 0; k < 5; k++ {
+			r, err := b.Read(nil, truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, r...)
+		}
+		return out
+	}
+	a := mk(7)
+	b := mk(7)
+	c := mk(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different readings")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical readings")
+	}
+}
+
+func TestReadLengthMismatch(t *testing.T) {
+	b, err := NewBank(4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(nil, []float64{1, 2}); err == nil {
+		t.Error("accepted wrong-length truth vector")
+	}
+}
+
+func TestZeroNoiseConfig(t *testing.T) {
+	cfg := Config{Precision: 0, MaxOffset: 0, SampleRate: 10e3, Seed: 3}
+	b, err := NewBank(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{70, 75, 80}
+	r, err := b.Read(nil, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r {
+		if r[i] != truth[i] {
+			t.Errorf("ideal sensor %d read %v, want %v", i, r[i], truth[i])
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := Max([]float64{1, 5, 3}); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if got := Max([]float64{-2}); got != -2 {
+		t.Errorf("Max single = %v, want -2", got)
+	}
+}
+
+func TestSetStuck(t *testing.T) {
+	b, err := NewBank(3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetStuck(5, 50); err == nil {
+		t.Error("accepted out-of-range sensor index")
+	}
+	if err := b.SetStuck(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	r, err := b.Read(nil, []float64{80, 90, 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[1] != 50 {
+		t.Errorf("stuck sensor read %v, want pinned 50", r[1])
+	}
+	if r[0] == 50 || r[2] == 50 {
+		t.Error("fault leaked to healthy sensors")
+	}
+	// Clearing the fault restores normal behaviour.
+	if err := b.SetStuck(1, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	r, err = b.Read(nil, []float64{80, 90, 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r[1]-90) > DefaultConfig().WorstCaseError() {
+		t.Errorf("cleared sensor read %v, want ≈90", r[1])
+	}
+}

@@ -1,0 +1,225 @@
+// Package stats provides the statistics the evaluation needs: summary
+// statistics, Student-t confidence intervals, and the paired t-test the
+// paper uses to report that policy differences are "significant at the 99%
+// confidence level" (§5.2). The t distribution is computed from the
+// regularized incomplete beta function, so no tables are required.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean. It panics on empty input — callers
+// always aggregate over the fixed benchmark suite.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// GeoMean returns the geometric mean; all inputs must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: GeoMean of empty slice")
+	}
+	var s float64
+	for _, x := range xs {
+		if !(x > 0) {
+			return 0, fmt.Errorf("stats: GeoMean needs positive values, got %v", x)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// lgamma returns log Γ(x) for x > 0.
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// (Lentz's algorithm, as in Numerical Recipes).
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	bt := math.Exp(lgamma(a+b) - lgamma(a) - lgamma(b) +
+		a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return bt * betacf(a, b, x) / a
+	}
+	return 1 - bt*betacf(b, a, 1-x)/b
+}
+
+// StudentTCDF returns P(T ≤ t) for Student's t with df degrees of freedom.
+func StudentTCDF(t float64, df float64) float64 {
+	if df <= 0 {
+		panic("stats: non-positive degrees of freedom")
+	}
+	x := df / (df + t*t)
+	p := 0.5 * RegIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// TCritical returns the two-sided critical value t* such that
+// P(|T| ≤ t*) = confidence, found by bisection.
+func TCritical(df float64, confidence float64) (float64, error) {
+	if !(confidence > 0 && confidence < 1) {
+		return 0, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	target := 1 - (1-confidence)/2 // upper-tail CDF value
+	lo, hi := 0.0, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(mid, df) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// ConfidenceInterval returns the half-width of the mean's two-sided
+// confidence interval at the given level.
+func ConfidenceInterval(xs []float64, confidence float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, errors.New("stats: confidence interval needs ≥2 samples")
+	}
+	t, err := TCritical(float64(len(xs)-1), confidence)
+	if err != nil {
+		return 0, err
+	}
+	return t * StdDev(xs) / math.Sqrt(float64(len(xs))), nil
+}
+
+// PairedTTestResult reports a paired t-test.
+type PairedTTestResult struct {
+	T        float64 // t statistic of the mean difference
+	DF       float64
+	P        float64 // two-sided p-value
+	MeanDiff float64
+}
+
+// PairedTTest tests whether paired samples a and b have different means
+// (two-sided). The paper's benchmark suite gives n = 9, df = 8.
+func PairedTTest(a, b []float64) (PairedTTestResult, error) {
+	if len(a) != len(b) {
+		return PairedTTestResult{}, fmt.Errorf("stats: paired test with %d vs %d samples", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return PairedTTestResult{}, errors.New("stats: paired test needs ≥2 pairs")
+	}
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	md := Mean(d)
+	sd := StdDev(d)
+	n := float64(len(d))
+	if sd == 0 {
+		// Identical differences: either no effect (md==0) or certain effect.
+		p := 1.0
+		if md != 0 {
+			p = 0
+		}
+		return PairedTTestResult{T: math.Inf(sign(md)), DF: n - 1, P: p, MeanDiff: md}, nil
+	}
+	t := md / (sd / math.Sqrt(n))
+	p := 2 * (1 - StudentTCDF(math.Abs(t), n-1))
+	return PairedTTestResult{T: t, DF: n - 1, P: p, MeanDiff: md}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// SignificantAt reports whether the test rejects equality at the given
+// confidence level (e.g. 0.99 for the paper's 99% statements).
+func (r PairedTTestResult) SignificantAt(confidence float64) bool {
+	return r.P < 1-confidence
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	// Sample variance with n-1: sum sq dev = 32, /7.
+	if v := Variance(xs); math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", s)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mean(nil) did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestVarianceSingleSample(t *testing.T) {
+	if v := Variance([]float64{3}); v != 0 {
+		t.Errorf("Variance of one sample = %v, want 0", v)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 4", g)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("GeoMean accepted negative value")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean accepted empty slice")
+	}
+}
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// I_x(2,2) = 3x² − 2x³ (Beta(2,2) CDF).
+	for _, x := range []float64{0.25, 0.5, 0.75} {
+		want := 3*x*x - 2*x*x*x
+		if got := RegIncBeta(2, 2, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	f := func(raw float64) bool {
+		tv := math.Mod(math.Abs(raw), 10)
+		df := 8.0
+		lo := StudentTCDF(-tv, df)
+		hi := StudentTCDF(tv, df)
+		return math.Abs(lo+hi-1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentTCDFKnownPoints(t *testing.T) {
+	// At t=0 the CDF is 0.5 for any df.
+	for _, df := range []float64{1, 5, 8, 30} {
+		if got := StudentTCDF(0, df); math.Abs(got-0.5) > 1e-12 {
+			t.Errorf("CDF(0; %v) = %v, want 0.5", df, got)
+		}
+	}
+	// Large df approaches the normal: CDF(1.96; 1000) ≈ 0.975.
+	if got := StudentTCDF(1.96, 1000); math.Abs(got-0.975) > 0.001 {
+		t.Errorf("CDF(1.96; 1000) = %v, want ≈0.975", got)
+	}
+}
+
+func TestTCriticalMatchesTables(t *testing.T) {
+	// Standard t-table values.
+	cases := []struct {
+		df   float64
+		conf float64
+		want float64
+	}{
+		{8, 0.95, 2.306},
+		{8, 0.99, 3.355}, // the paper's df (9 benchmarks) at 99%
+		{4, 0.95, 2.776},
+		{30, 0.95, 2.042},
+	}
+	for _, c := range cases {
+		got, err := TCritical(c.df, c.conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 0.005 {
+			t.Errorf("TCritical(df=%v, %v) = %v, want %v", c.df, c.conf, got, c.want)
+		}
+	}
+	if _, err := TCritical(8, 1.5); err == nil {
+		t.Error("accepted confidence > 1")
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	xs := []float64{10, 12, 9, 11, 10, 12, 9, 11, 10}
+	hw, err := ConfidenceInterval(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half-width = t* · s/√n; verify against direct computation.
+	tc, _ := TCritical(8, 0.95)
+	want := tc * StdDev(xs) / 3
+	if math.Abs(hw-want) > 1e-9 {
+		t.Errorf("CI half-width %v, want %v", hw, want)
+	}
+	if _, err := ConfidenceInterval([]float64{1}, 0.95); err == nil {
+		t.Error("accepted single sample")
+	}
+}
+
+func TestPairedTTestDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 9
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := 1 + rng.Float64()
+		a[i] = base + 0.06 + rng.NormFloat64()*0.005 // consistent ~6% shift
+		b[i] = base
+	}
+	r, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SignificantAt(0.99) {
+		t.Errorf("consistent shift not significant at 99%%: p = %v", r.P)
+	}
+	if r.MeanDiff < 0.04 || r.MeanDiff > 0.08 {
+		t.Errorf("MeanDiff = %v, want ≈0.06", r.MeanDiff)
+	}
+}
+
+func TestPairedTTestNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 9
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := rng.Float64()
+		a[i] = base + rng.NormFloat64()*0.01
+		b[i] = base + rng.NormFloat64()*0.01
+	}
+	r, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SignificantAt(0.99) {
+		t.Errorf("pure noise reported significant: p = %v", r.P)
+	}
+}
+
+func TestPairedTTestIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	r, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SignificantAt(0.5) {
+		t.Errorf("identical samples significant: %+v", r)
+	}
+	// Constant nonzero difference: certain effect.
+	b := []float64{2, 3, 4}
+	r, err = PairedTTest(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 0 {
+		t.Errorf("constant shift p = %v, want 0", r.P)
+	}
+}
+
+func TestPairedTTestValidation(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{2}); err == nil {
+		t.Error("accepted single pair")
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+// The nine hottest SPEC CPU2000 benchmarks the paper evaluates (§3): a
+// mixture of integer and floating-point programs with intermediate and
+// extreme thermal demands. Each profile is a synthetic stand-in calibrated
+// to the published character of its namesake: instruction mix, available
+// ILP (dependency distance), branch predictability, code footprint and data
+// locality. The CPU model turns these into IPC and unit activity, so the
+// resulting heat is emergent, not scripted.
+//
+// Phases alternate between a "hot" compute-dense stretch and a cooler,
+// stall-heavier stretch, giving the DTM controllers temporal gradients to
+// react to (§2: temporal gradients arise from variations in computational
+// activity among program phases). Phase lengths are a few milliseconds of
+// execution — the timescale on which silicon temperature moves (§3: "as
+// fast as 0.1 °C/ms").
+
+// phasePair builds a standard two-phase cycle: n instructions of baseline
+// behaviour then n instructions with reduced ILP and more spills.
+func phasePair(n int, coolDep, coolSpill float64) []Phase {
+	return []Phase{
+		{Insts: n, DepScale: 1, SpillMult: 1},
+		{Insts: n, DepScale: coolDep, SpillMult: coolSpill},
+	}
+}
+
+// Benchmarks returns the nine profiles in the paper's order. The slice is
+// freshly allocated; callers may modify it.
+func Benchmarks() []Profile {
+	const phaseLen = 6_000_000 // ≈2-3 ms at the simulated machine's IPC
+	return []Profile{
+		{
+			// mesa: FP graphics, good locality, moderate ILP.
+			Name: "mesa", Seed: 101,
+			Mix:         Mix{Load: 0.22, Store: 0.09, Branch: 0.08, FPAdd: 0.16, FPMul: 0.12, IntMul: 0.01},
+			MeanDepDist: 5.0, IndepFrac: 0.22,
+			PatternedFrac: 0.93, PatternedBias: 0.97, BranchSites: 192,
+			CodeFootprint: 96 << 10,
+			DataResident:  40 << 10, SpillProb: 0.002, ColdFootprint: 1 << 20,
+			Phases: phasePair(phaseLen, 0.60, 10),
+		},
+		{
+			// perlbmk: branchy integer interpreter, bigger code footprint.
+			Name: "perlbmk", Seed: 102,
+			Mix:         Mix{Load: 0.26, Store: 0.11, Branch: 0.15, IntMul: 0.01},
+			MeanDepDist: 5.2, IndepFrac: 0.23,
+			PatternedFrac: 0.92, PatternedBias: 0.97, BranchSites: 384,
+			CodeFootprint: 160 << 10,
+			DataResident:  48 << 10, SpillProb: 0.004, ColdFootprint: 1 << 20,
+			Phases: phasePair(phaseLen, 0.65, 8),
+		},
+		{
+			// gzip: tight integer compression loops, high ILP, resident data.
+			Name: "gzip", Seed: 103,
+			Mix:         Mix{Load: 0.24, Store: 0.10, Branch: 0.12, IntMul: 0.01},
+			MeanDepDist: 4.8, IndepFrac: 0.22,
+			PatternedFrac: 0.92, PatternedBias: 0.97, BranchSites: 128,
+			CodeFootprint: 48 << 10,
+			DataResident:  52 << 10, SpillProb: 0.004, ColdFootprint: 1 << 20,
+			Phases: phasePair(phaseLen, 0.65, 10),
+		},
+		{
+			// bzip2: like gzip with a larger working set that spills to L2.
+			Name: "bzip2", Seed: 104,
+			Mix:         Mix{Load: 0.26, Store: 0.11, Branch: 0.11, IntMul: 0.01},
+			MeanDepDist: 5.2, IndepFrac: 0.22,
+			PatternedFrac: 0.91, PatternedBias: 0.96, BranchSites: 128,
+			CodeFootprint: 48 << 10,
+			DataResident:  56 << 10, SpillProb: 0.006, ColdFootprint: 1 << 20,
+			Phases: phasePair(phaseLen, 0.65, 8),
+		},
+		{
+			// eon: C++ ray tracer, mixed int/FP, very predictable branches.
+			Name: "eon", Seed: 105,
+			Mix:         Mix{Load: 0.24, Store: 0.10, Branch: 0.09, FPAdd: 0.12, FPMul: 0.08, IntMul: 0.01},
+			MeanDepDist: 5.2, IndepFrac: 0.22,
+			PatternedFrac: 0.95, PatternedBias: 0.98, BranchSites: 256,
+			CodeFootprint: 128 << 10,
+			DataResident:  36 << 10, SpillProb: 0.002, ColdFootprint: 512 << 10,
+			Phases: phasePair(phaseLen, 0.65, 10),
+		},
+		{
+			// crafty: chess, integer-dense with heavy bit manipulation, high
+			// IPC, essentially cache-resident.
+			Name: "crafty", Seed: 106,
+			Mix:         Mix{Load: 0.22, Store: 0.07, Branch: 0.13, IntMul: 0.02},
+			MeanDepDist: 5.0, IndepFrac: 0.23,
+			PatternedFrac: 0.90, PatternedBias: 0.96, BranchSites: 256,
+			CodeFootprint: 96 << 10,
+			DataResident:  44 << 10, SpillProb: 0.003, ColdFootprint: 1 << 20,
+			Phases: phasePair(phaseLen, 0.65, 10),
+		},
+		{
+			// vortex: object database, memory-heavy, lower IPC.
+			Name: "vortex", Seed: 107,
+			Mix:         Mix{Load: 0.29, Store: 0.14, Branch: 0.12, IntMul: 0.01},
+			MeanDepDist: 5.6, IndepFrac: 0.24,
+			PatternedFrac: 0.96, PatternedBias: 0.975, BranchSites: 384,
+			CodeFootprint: 160 << 10,
+			DataResident:  48 << 10, SpillProb: 0.006, ColdFootprint: 1 << 20,
+			Phases: phasePair(phaseLen, 0.70, 8),
+		},
+		{
+			// gcc: large code footprint, hard branches, lowest ILP of the set.
+			Name: "gcc", Seed: 108,
+			Mix:         Mix{Load: 0.26, Store: 0.12, Branch: 0.12, IntMul: 0.01},
+			MeanDepDist: 7.2, IndepFrac: 0.30,
+			PatternedFrac: 0.92, PatternedBias: 0.96, BranchSites: 640,
+			CodeFootprint: 256 << 10,
+			DataResident:  56 << 10, SpillProb: 0.004, ColdFootprint: 1 << 20,
+			Phases: phasePair(phaseLen, 0.70, 10),
+		},
+		{
+			// art: neural-net FP kernel; tight loops over a small image give
+			// it extreme sustained activity — the thermal stress extreme of
+			// the suite.
+			Name: "art", Seed: 109,
+			Mix:         Mix{Load: 0.24, Store: 0.08, Branch: 0.07, FPAdd: 0.22, FPMul: 0.16},
+			MeanDepDist: 7.0, IndepFrac: 0.28,
+			PatternedFrac: 0.97, PatternedBias: 0.985, BranchSites: 64,
+			CodeFootprint: 24 << 10,
+			DataResident:  48 << 10, SpillProb: 0.002, ColdFootprint: 2 << 20,
+			Phases: phasePair(2*phaseLen, 0.80, 6),
+		},
+	}
+}
+
+// BenchmarkNames returns the nine names in order.
+func BenchmarkNames() []string {
+	bs := Benchmarks()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// ByName returns the named profile, or false if unknown.
+func ByName(name string) (Profile, bool) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Profile{}, false
+}

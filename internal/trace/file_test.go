@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	p := simpleProfile()
+	var buf bytes.Buffer
+	const n = 5000
+	if err := WriteTrace(&buf, p, n); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != p.Name || r.Count() != n {
+		t.Errorf("header: name %q count %d", r.Name(), r.Count())
+	}
+	// The replayed stream must match the generator byte for byte.
+	gen, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b Inst
+	for i := 0; i < n; i++ {
+		gen.Next(&a)
+		r.Next(&b)
+		if a != b {
+			t.Fatalf("instruction %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReaderLoops(t *testing.T) {
+	p := simpleProfile()
+	var buf bytes.Buffer
+	const n = 100
+	if err := WriteTrace(&buf, p, n); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]Inst, n)
+	for i := range first {
+		r.Next(&first[i])
+	}
+	var again Inst
+	for i := 0; i < n; i++ {
+		r.Next(&again)
+		if again != first[i] {
+			t.Fatalf("loop replay diverged at %d", i)
+		}
+	}
+}
+
+func TestWriteTraceValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, simpleProfile(), 0); err == nil {
+		t.Error("accepted zero-length trace")
+	}
+	bad := simpleProfile()
+	bad.Name = ""
+	if err := WriteTrace(&buf, bad, 10); err == nil {
+		t.Error("accepted invalid profile")
+	}
+}
+
+func TestRecordLongName(t *testing.T) {
+	g, err := NewGenerator(simpleProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, g, strings.Repeat("x", 300), 10); err == nil {
+		t.Error("accepted over-long name")
+	}
+}
+
+func TestNewReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("accepted garbage input")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("accepted empty input")
+	}
+	// Truncated records.
+	p := simpleProfile()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, p, 50); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := NewReader(bytes.NewReader(trunc)); err == nil {
+		t.Error("accepted truncated trace")
+	}
+}
