@@ -12,6 +12,7 @@
 package hybriddtm
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -57,7 +58,7 @@ func newRunner(b *testing.B) *experiments.Runner {
 func BenchmarkCharacterise(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := newRunner(b)
-		rows, err := experiments.Characterise(r)
+		rows, err := experiments.Characterise(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func BenchmarkCharacterise(b *testing.B) {
 // cycle, DVS-stall) and reports the best duty cycle and its slowdown.
 func BenchmarkFig3a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3a(newRunner(b), true)
+		res, err := experiments.Fig3a(context.Background(), newRunner(b), true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func BenchmarkFig3a(b *testing.B) {
 // only the mildest gating is justified.
 func BenchmarkFig3aIdeal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3a(newRunner(b), false)
+		res, err := experiments.Fig3a(context.Background(), newRunner(b), false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func BenchmarkFig3aIdeal(b *testing.B) {
 // duty cycle, with the DVS overhead reference line).
 func BenchmarkFig3b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3b(newRunner(b))
+		res, err := experiments.Fig3b(context.Background(), newRunner(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func reportFig4(b *testing.B, res experiments.Fig4Result) {
 // headline result — hybrids cut a large share of DVS's DTM overhead.
 func BenchmarkFig4a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(newRunner(b), true)
+		res, err := experiments.Fig4(context.Background(), newRunner(b), true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkFig4a(b *testing.B) {
 // BenchmarkFig4b regenerates Figure 4b (policy comparison, DVS-ideal).
 func BenchmarkFig4b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(newRunner(b), false)
+		res, err := experiments.Fig4(context.Background(), newRunner(b), false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -158,11 +159,11 @@ func BenchmarkFig4b(b *testing.B) {
 func BenchmarkStepSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := newRunner(b)
-		stall, err := experiments.StepSizeStudy(r, true)
+		stall, err := experiments.StepSizeStudy(context.Background(), r, true)
 		if err != nil {
 			b.Fatal(err)
 		}
-		ideal, err := experiments.StepSizeStudy(r, false)
+		ideal, err := experiments.StepSizeStudy(context.Background(), r, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func BenchmarkStepSize(b *testing.B) {
 // BenchmarkVoltageFloor regenerates the §4.1 low-voltage search.
 func BenchmarkVoltageFloor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.VoltageFloor(newRunner(b))
+		res, err := experiments.VoltageFloor(context.Background(), newRunner(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -185,7 +186,7 @@ func BenchmarkVoltageFloor(b *testing.B) {
 // BenchmarkCrossover regenerates the §5.1 crossover-invariance study.
 func BenchmarkCrossover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.CrossoverInvariance(newRunner(b))
+		res, err := experiments.CrossoverInvariance(context.Background(), newRunner(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,6 +198,36 @@ func BenchmarkCrossover(b *testing.B) {
 		b.ReportMetric(res.BestDutyHyb, "hybBestDuty")
 	}
 }
+
+// benchSuiteWorkers runs the nine-benchmark Hyb suite (baseline + policy
+// run per benchmark, 18 simulations) at the given worker-pool size. The
+// Workers1/Workers4 pair measures the parallel experiment engine's
+// speedup; results are byte-identical across worker counts (asserted by
+// TestFig4ParallelDeterminism), so only wall-clock changes.
+func benchSuiteWorkers(b *testing.B, workers int) {
+	opts := benchOptions()
+	opts.Workers = workers
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.NewRunner(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms, err := r.Suite(experiments.HybPolicy(opts.Config, true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) != len(opts.Benchmarks) {
+			b.Fatalf("suite returned %d measurements", len(ms))
+		}
+	}
+}
+
+// BenchmarkSuiteWorkers1 is the serial reference for the suite speedup.
+func BenchmarkSuiteWorkers1(b *testing.B) { benchSuiteWorkers(b, 1) }
+
+// BenchmarkSuiteWorkers4 is the same suite on four workers; on a 4-core
+// machine it completes the 18 independent simulations ≥2× faster.
+func BenchmarkSuiteWorkers4(b *testing.B) { benchSuiteWorkers(b, 4) }
 
 // --- Ablation benches (design choices called out in DESIGN.md) ----------
 
@@ -458,7 +489,7 @@ func BenchmarkStatsTTest(b *testing.B) {
 // little advantage over fetch gating.
 func BenchmarkLocalVsFG(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.LocalVsFG(newRunner(b))
+		res, err := experiments.LocalVsFG(context.Background(), newRunner(b))
 		if err != nil {
 			b.Fatal(err)
 		}

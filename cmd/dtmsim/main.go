@@ -1,19 +1,25 @@
-// Command dtmsim runs one benchmark under one DTM policy and prints a run
-// summary (and optionally a per-interval temperature trace) — the basic
-// workhorse for exploring the simulator.
+// Command dtmsim runs one or more benchmarks under one DTM policy and
+// prints run summaries — the basic workhorse for exploring the simulator.
 //
 // Usage:
 //
-//	dtmsim -bench gzip -policy hyb [-insts N] [-ideal] [-gate G] [-duty D]
+//	dtmsim -bench gzip -policy hyb [-insts N] [-ideal] [-gate G] [-vmin V]
+//	dtmsim -bench gzip,bzip2,art -policy dvs -workers 4
+//	dtmsim -bench all -policy pi-hyb
 //
 // Policies: none, dvs, dvs-pi, fg, fg-fixed, clockgate, pi-hyb, hyb,
-// local, proactive-dvs.
+// local, proactive-dvs. With several benchmarks (comma-separated, or
+// "all") the simulations fan out over -workers goroutines (default: one
+// per CPU) and a slowdown table is printed; results are identical for any
+// worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hybriddtm/internal/core"
@@ -21,84 +27,159 @@ import (
 	"hybriddtm/internal/dvfs"
 	"hybriddtm/internal/experiments"
 	"hybriddtm/internal/floorplan"
+	"hybriddtm/internal/stats"
 	"hybriddtm/internal/trace"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "dtmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	bench := flag.String("bench", "gzip", "benchmark name")
+func run(ctx context.Context) error {
+	bench := flag.String("bench", "gzip", "benchmark name, comma-separated list, or \"all\"")
 	policy := flag.String("policy", "hyb", "DTM policy: none, dvs, dvs-pi, fg, fg-fixed, clockgate, pi-hyb, hyb, local, proactive-dvs")
 	insts := flag.Uint64("insts", 10_000_000, "instructions to simulate")
 	ideal := flag.Bool("ideal", false, "idealized DVS (no pipeline stall on switches)")
 	gate := flag.Float64("gate", 1.0/3, "fixed fetch-gating fraction (fg-fixed, hyb, pi-hyb crossover)")
 	vmin := flag.Float64("vmin", 0.85, "DVS low voltage as a fraction of nominal")
 	steps := flag.Int("steps", 5, "DVS ladder steps for dvs-pi")
+	workers := flag.Int("workers", 0, "concurrent simulations for multi-benchmark runs (0 = one per CPU)")
 	flag.Parse()
 
-	prof, ok := trace.ByName(*bench)
-	if !ok {
-		return fmt.Errorf("unknown benchmark %q (have %s)", *bench,
-			strings.Join(trace.BenchmarkNames(), ", "))
+	profs, err := parseBenchmarks(*bench)
+	if err != nil {
+		return err
 	}
 
 	cfg := core.DefaultConfig()
 	cfg.DVSStall = !*ideal
 	cfg.VMinFrac = *vmin
 
-	ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
-	if err != nil {
-		return err
-	}
-	var pol dtm.Policy
-	switch *policy {
-	case "none":
-		pol = dtm.None()
-	case "dvs":
-		pol, err = dtm.DVSBinary(cfg.Trigger, ladder)
-	case "dvs-pi":
-		var l *dvfs.Ladder
-		l, err = dvfs.NewLadder(cfg.Tech, *steps, cfg.VMinFrac)
-		if err == nil {
-			cfg.Ladder = l
-			pol, err = dtm.DVSPI(cfg.Trigger, l)
-		}
-	case "fg":
-		pol, err = dtm.FetchGating(cfg.Trigger, dtm.DefaultFGGain, 2.0/3)
-	case "fg-fixed":
-		pol, err = dtm.FixedFG(cfg.Trigger, *gate)
-	case "clockgate":
-		pol = dtm.ClockGating(cfg.Trigger)
-	case "pi-hyb":
-		pol, err = dtm.PIHyb(cfg.Trigger, dtm.DefaultFGGain, *gate, ladder)
-	case "hyb":
-		pol, err = dtm.Hyb(cfg.Trigger, 0.4, *gate, ladder)
-	case "local":
-		pol, err = dtm.LocalToggling(cfg.Trigger, dtm.DefaultFGGain, 2.0/3,
-			experiments.EV6Domains(floorplan.EV6()))
-	case "proactive-dvs":
-		var inner dtm.Policy
-		inner, err = dtm.DVSBinary(cfg.Trigger, ladder)
-		if err == nil {
-			pol, err = dtm.Proactive(inner, 1.5e-3)
-		}
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
-	}
+	factory, err := policyFactory(&cfg, *policy, *gate, *steps)
 	if err != nil {
 		return err
 	}
 
+	if len(profs) == 1 {
+		return runOne(ctx, cfg, profs[0], factory, *insts)
+	}
+	return runSuite(ctx, cfg, profs, factory, *insts, *workers)
+}
+
+// parseBenchmarks resolves a benchmark flag value ("gzip", "gzip,art" or
+// "all") into profiles.
+func parseBenchmarks(arg string) ([]trace.Profile, error) {
+	if arg == "all" {
+		return trace.Benchmarks(), nil
+	}
+	names := strings.Split(arg, ",")
+	profs := make([]trace.Profile, 0, len(names))
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		prof, ok := trace.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (have %s)", name,
+				strings.Join(trace.BenchmarkNames(), ", "))
+		}
+		profs = append(profs, prof)
+	}
+	return profs, nil
+}
+
+// policyFactory builds the policy factory for the named scheme. cfg may be
+// adjusted (dvs-pi installs its ladder into the simulator config).
+func policyFactory(cfg *core.Config, name string, gate float64, steps int) (experiments.PolicyFactory, error) {
+	c := *cfg
+	mk := func(newFn func() (dtm.Policy, error)) (experiments.PolicyFactory, error) {
+		return experiments.PolicyFactory{Name: name, New: newFn}, nil
+	}
+	switch name {
+	case "none":
+		return mk(func() (dtm.Policy, error) { return dtm.None(), nil })
+	case "dvs":
+		return mk(func() (dtm.Policy, error) {
+			ladder, err := dvfs.Binary(c.Tech, c.VMinFrac)
+			if err != nil {
+				return nil, err
+			}
+			return dtm.DVSBinary(c.Trigger, ladder)
+		})
+	case "dvs-pi":
+		ladder, err := dvfs.NewLadder(c.Tech, steps, c.VMinFrac)
+		if err != nil {
+			return experiments.PolicyFactory{}, err
+		}
+		cfg.Ladder = ladder
+		c = *cfg
+		return mk(func() (dtm.Policy, error) {
+			l, err := dvfs.NewLadder(c.Tech, steps, c.VMinFrac)
+			if err != nil {
+				return nil, err
+			}
+			return dtm.DVSPI(c.Trigger, l)
+		})
+	case "fg":
+		return mk(func() (dtm.Policy, error) {
+			return dtm.FetchGating(c.Trigger, dtm.DefaultFGGain, 2.0/3)
+		})
+	case "fg-fixed":
+		return mk(func() (dtm.Policy, error) { return dtm.FixedFG(c.Trigger, gate) })
+	case "clockgate":
+		return mk(func() (dtm.Policy, error) { return dtm.ClockGating(c.Trigger), nil })
+	case "pi-hyb":
+		return mk(func() (dtm.Policy, error) {
+			ladder, err := dvfs.Binary(c.Tech, c.VMinFrac)
+			if err != nil {
+				return nil, err
+			}
+			return dtm.PIHyb(c.Trigger, dtm.DefaultFGGain, gate, ladder)
+		})
+	case "hyb":
+		return mk(func() (dtm.Policy, error) {
+			ladder, err := dvfs.Binary(c.Tech, c.VMinFrac)
+			if err != nil {
+				return nil, err
+			}
+			return dtm.Hyb(c.Trigger, 0.4, gate, ladder)
+		})
+	case "local":
+		return mk(func() (dtm.Policy, error) {
+			return dtm.LocalToggling(c.Trigger, dtm.DefaultFGGain, 2.0/3,
+				experiments.EV6Domains(floorplan.EV6()))
+		})
+	case "proactive-dvs":
+		return mk(func() (dtm.Policy, error) {
+			ladder, err := dvfs.Binary(c.Tech, c.VMinFrac)
+			if err != nil {
+				return nil, err
+			}
+			inner, err := dtm.DVSBinary(c.Trigger, ladder)
+			if err != nil {
+				return nil, err
+			}
+			return dtm.Proactive(inner, 1.5e-3)
+		})
+	default:
+		return experiments.PolicyFactory{}, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// runOne prints the detailed single-benchmark summary.
+func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory experiments.PolicyFactory, insts uint64) error {
+	pol, err := factory.New()
+	if err != nil {
+		return err
+	}
 	sim, err := core.New(cfg, prof, pol)
 	if err != nil {
 		return err
 	}
-	res, err := sim.Run(*insts)
+	res, err := sim.RunContext(ctx, insts)
 	if err != nil {
 		return err
 	}
@@ -120,5 +201,38 @@ func run() error {
 	if res.ClockStopTime > 0 {
 		fmt.Printf("clock stopped    %.1f %%\n", 100*res.ClockStopTime/res.WallTime)
 	}
+	return nil
+}
+
+// runSuite fans the benchmarks out over the experiment engine's worker
+// pool and prints a slowdown table (normalized against each benchmark's
+// no-DTM baseline).
+func runSuite(ctx context.Context, cfg core.Config, profs []trace.Profile, factory experiments.PolicyFactory, insts uint64, workers int) error {
+	r, err := experiments.NewRunner(experiments.Options{
+		Instructions: insts,
+		Benchmarks:   profs,
+		Config:       cfg,
+		Workers:      workers,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	ms, err := r.SuiteContext(ctx, cfg, factory)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy %s over %d benchmarks (%d instructions each, %d workers):\n\n",
+		factory.Name, len(profs), insts, r.Workers())
+	fmt.Printf("%-9s  %8s  %8s  %10s  %s\n", "bench", "slowdown", "maxT/°C", "violations", "DVS switches")
+	for _, m := range ms {
+		v := ""
+		if m.Result.Violated() {
+			v = "VIOLATED"
+		}
+		fmt.Printf("%-9s  %8.4f  %8.2f  %10s  %d\n",
+			m.Benchmark, m.Slowdown, m.Result.MaxTemp, v, m.Result.DVSSwitches)
+	}
+	fmt.Printf("%-9s  %8.4f\n", "MEAN", stats.Mean(experiments.Slowdowns(ms)))
 	return nil
 }

@@ -5,18 +5,23 @@
 //
 // Usage:
 //
-//	experiments [-insts N] [-bench name] [-v] [-fig id ...]
+//	experiments [-insts N] [-bench name] [-workers N] [-v] [-fig id ...]
 //
 // where id is one of: bench, 3a, 3a-ideal, 3b, 4a, 4b, steps, vfloor,
-// cross, all. Default: all. On a single core the full suite at the default
-// instruction budget takes tens of minutes; use -insts to scale.
+// cross, all. Default: all. Independent simulations fan out over -workers
+// goroutines (default: one per CPU); results are identical for any worker
+// count, so -workers only changes wall-clock time. Use -insts to scale the
+// per-run instruction budget. Interrupting (Ctrl-C) cancels outstanding
+// simulations promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hybriddtm/internal/experiments"
@@ -24,15 +29,18 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	insts := flag.Uint64("insts", 10_000_000, "instructions simulated per run")
 	bench := flag.String("bench", "", "restrict to one benchmark (default: all nine)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	verbose := flag.Bool("v", false, "log each simulation run")
 	flag.Parse()
 
@@ -53,6 +61,7 @@ func run() error {
 
 	opts := experiments.DefaultOptions()
 	opts.Instructions = *insts
+	opts.Workers = *workers
 	if *bench != "" {
 		p, ok := trace.ByName(*bench)
 		if !ok {
@@ -81,42 +90,42 @@ func run() error {
 	}
 
 	if section("bench") {
-		rows, err := experiments.Characterise(r)
+		rows, err := experiments.Characterise(ctx, r)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatCharacterise(rows))
 	}
 	if section("3a") {
-		res, err := experiments.Fig3a(r, true)
+		res, err := experiments.Fig3a(ctx, r, true)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 	}
 	if section("3a-ideal") {
-		res, err := experiments.Fig3a(r, false)
+		res, err := experiments.Fig3a(ctx, r, false)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 	}
 	if section("3b") {
-		res, err := experiments.Fig3b(r)
+		res, err := experiments.Fig3b(ctx, r)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 	}
 	if section("4a") {
-		res, err := experiments.Fig4(r, true)
+		res, err := experiments.Fig4(ctx, r, true)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 	}
 	if section("4b") {
-		res, err := experiments.Fig4(r, false)
+		res, err := experiments.Fig4(ctx, r, false)
 		if err != nil {
 			return err
 		}
@@ -124,7 +133,7 @@ func run() error {
 	}
 	if section("steps") {
 		for _, stall := range []bool{true, false} {
-			res, err := experiments.StepSizeStudy(r, stall)
+			res, err := experiments.StepSizeStudy(ctx, r, stall)
 			if err != nil {
 				return err
 			}
@@ -132,35 +141,39 @@ func run() error {
 		}
 	}
 	if section("vfloor") {
-		res, err := experiments.VoltageFloor(r)
+		res, err := experiments.VoltageFloor(ctx, r)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 	}
 	if section("cross") {
-		res, err := experiments.CrossoverInvariance(r)
+		res, err := experiments.CrossoverInvariance(ctx, r)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 	}
 	if section("local") {
-		res, err := experiments.LocalVsFG(r)
+		res, err := experiments.LocalVsFG(ctx, r)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 	}
 	if section("merit") {
+		names := make([]string, 0, 3)
 		for _, name := range []string{"gzip", "gcc", "art"} {
 			if *bench != "" && name != *bench {
 				continue
 			}
-			res, err := experiments.MeritStudy(opts, name)
-			if err != nil {
-				return err
-			}
+			names = append(names, name)
+		}
+		results, err := experiments.MeritStudies(ctx, opts, names)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
 			fmt.Println(res)
 		}
 	}

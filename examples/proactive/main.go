@@ -6,13 +6,13 @@
 // the run below reports the peak temperature and margin each variant
 // achieves on the same workload.
 //
-//	go run ./examples/proactive [benchmark]
+//	go run ./examples/proactive [-insts N] [-quick] [benchmark]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"hybriddtm/internal/core"
 	"hybriddtm/internal/dtm"
@@ -21,17 +21,24 @@ import (
 )
 
 func main() {
+	insts := flag.Uint64("insts", 6_000_000, "instructions to simulate per run")
+	quick := flag.Bool("quick", false, "shrink warmup/settle phases for a fast demo run")
+	flag.Parse()
 	name := "gzip"
-	if len(os.Args) > 1 {
-		name = os.Args[1]
+	if flag.NArg() > 0 {
+		name = flag.Arg(0)
 	}
 	prof, ok := trace.ByName(name)
 	if !ok {
 		log.Fatalf("unknown benchmark %q (have %v)", name, trace.BenchmarkNames())
 	}
-	const insts = 6_000_000
 
 	cfg := core.DefaultConfig()
+	if *quick {
+		cfg.WarmupCycles = 300_000
+		cfg.InitCycles = 200_000
+		cfg.SettleInstructions = 300_000
+	}
 	ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
 	if err != nil {
 		log.Fatal(err)
@@ -48,7 +55,7 @@ func main() {
 		return dtm.Proactive(inner, 1.5e-3) // look 1.5 ms ahead
 	}
 
-	fmt.Printf("%s under binary DVS, reactive vs proactive (%d instructions):\n\n", name, insts)
+	fmt.Printf("%s under binary DVS, reactive vs proactive (%d instructions):\n\n", name, *insts)
 	var baseline core.Result
 	for i, mk := range []func() (dtm.Policy, error){nil, reactive, proactive} {
 		var pol dtm.Policy
@@ -63,7 +70,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.Run(insts)
+		res, err := sim.Run(*insts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,10 +1,11 @@
 // Quickstart: simulate one hot SPEC-like workload under the paper's hybrid
 // DTM policy and compare it against unmanaged execution.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-insts N] [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,7 +16,9 @@ import (
 )
 
 func main() {
-	const insts = 5_000_000
+	insts := flag.Uint64("insts", 5_000_000, "instructions to simulate per run")
+	quick := flag.Bool("quick", false, "shrink warmup/settle phases for a fast demo run")
+	flag.Parse()
 
 	// The configuration bundles the paper's whole setup: a 21264-like core
 	// at 0.13 µm / 1.3 V / 3 GHz, a Wattch-style power model, a
@@ -23,6 +26,11 @@ func main() {
 	// ±1 °C precision at 10 kHz, an 85 °C emergency threshold and an
 	// 81.8 °C trigger.
 	cfg := core.DefaultConfig()
+	if *quick {
+		cfg.WarmupCycles = 300_000
+		cfg.InitCycles = 200_000
+		cfg.SettleInstructions = 300_000
+	}
 
 	// gzip is one of the nine hottest SPEC CPU2000 profiles shipped in
 	// internal/trace.
@@ -32,7 +40,7 @@ func main() {
 	}
 
 	// Baseline: no DTM. On this low-cost package the workload overheats.
-	base, err := runOnce(cfg, prof, nil, insts)
+	base, err := runOnce(cfg, prof, nil, *insts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	managed, err := runOnce(cfg, prof, hyb, insts)
+	managed, err := runOnce(cfg, prof, hyb, *insts)
 	if err != nil {
 		log.Fatal(err)
 	}

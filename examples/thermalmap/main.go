@@ -4,13 +4,13 @@
 // loop: 10 000-cycle thermal steps, per-block power from measured activity,
 // leakage feeding back on temperature.
 //
-//	go run ./examples/thermalmap [benchmark]
+//	go run ./examples/thermalmap [-ms T] [benchmark]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"hybriddtm/internal/cpu"
 	"hybriddtm/internal/dvfs"
@@ -22,14 +22,15 @@ import (
 
 const (
 	stepCycles = 10_000
-	totalMS    = 8.0 // simulated milliseconds to render
 	rowEveryMS = 0.5
 )
 
 func main() {
+	totalMS := flag.Float64("ms", 8.0, "simulated milliseconds to render")
+	flag.Parse()
 	name := "art"
-	if len(os.Args) > 1 {
-		name = os.Args[1]
+	if flag.NArg() > 0 {
+		name = flag.Arg(0)
 	}
 	prof, ok := trace.ByName(name)
 	if !ok {
@@ -90,7 +91,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("benchmark %s: block temperatures over %.0f ms (no DTM)\n", prof.Name, totalMS)
+	fmt.Printf("benchmark %s: block temperatures over %.2g ms (no DTM)\n", prof.Name, *totalMS)
 	fmt.Printf("scale: '.'<70  ':'70-75  '-'75-80  '+'80-82  '*'82-85  '#'>85 °C\n\n")
 	fmt.Printf("%7s", "t/ms")
 	for i := 0; i < fp.NumBlocks(); i++ {
@@ -101,7 +102,7 @@ func main() {
 	dt := float64(stepCycles) / tech.FNominal
 	temps := tm.BlockTemps(nil)
 	nextRow := 0.0
-	for tm.Time() < totalMS*1e-3 {
+	for tm.Time() < *totalMS*1e-3 {
 		act.Reset()
 		if _, err := core.Run(stepCycles, 0, &act); err != nil {
 			log.Fatal(err)

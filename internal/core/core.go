@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -258,12 +259,21 @@ func (s *Simulator) Sensors() *sensor.Bank { return s.bank }
 // For runs with an active DTM policy the initial state is additionally
 // clamped so no block starts above the trigger: a chip whose DTM has been
 // running would have been held there, never at the unmanaged steady state.
-func (s *Simulator) initSteadyState() error {
+func (s *Simulator) initSteadyState(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if _, err := s.core.Run(s.cfg.WarmupCycles, 0, nil); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	var act cpu.Activity
 	if _, err := s.core.Run(s.cfg.InitCycles, 0, &act); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	activity, err := act.BlockActivity(s.fp, nil)
@@ -331,6 +341,15 @@ func (s *Simulator) initSteadyState() error {
 // Run executes until the given number of instructions commit after warmup,
 // and returns the run summary.
 func (s *Simulator) Run(instructions uint64) (Result, error) {
+	return s.RunContext(context.Background(), instructions)
+}
+
+// RunContext is Run with cancellation: the context is checked between the
+// warmup/init phases and once per thermal step (10 000 cycles of simulated
+// execution, i.e. a few microseconds of real time), so concurrent drivers
+// can abort a sweep promptly on the first error. A canceled run returns
+// ctx.Err() and leaves no partial Result.
+func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result, error) {
 	if instructions == 0 {
 		return Result{}, errors.New("core: zero instruction target")
 	}
@@ -338,7 +357,7 @@ func (s *Simulator) Run(instructions uint64) (Result, error) {
 		return Result{}, errors.New("core: Simulator.Run called twice; build a fresh Simulator per run")
 	}
 	s.ran = true
-	if err := s.initSteadyState(); err != nil {
+	if err := s.initSteadyState(ctx); err != nil {
 		return Result{}, err
 	}
 
@@ -373,6 +392,9 @@ func (s *Simulator) Run(instructions uint64) (Result, error) {
 	var energy float64
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		op := s.ladder.Point(level)
 		dt := float64(stepCycles) / op.F
 		clockFrac := 1.0

@@ -3,11 +3,21 @@
 // studies reported in the §4.1 text) can be regenerated through this
 // package, either from the cmd/experiments tool or from the benchmark
 // harness in the repository root. DESIGN.md carries the experiment index.
+//
+// Every (benchmark, policy, config) simulation is independent — no mutable
+// state is shared between runs — so the package executes them on a bounded
+// worker pool (see pool.go). Results are reassembled in submission order,
+// which makes parallel runs byte-identical to serial runs; Options.Workers
+// only changes wall-clock time, never output.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"hybriddtm/internal/core"
 	"hybriddtm/internal/dtm"
@@ -23,11 +33,16 @@ type Options struct {
 	Instructions uint64
 	Benchmarks   []trace.Profile
 	Config       core.Config
-	Log          io.Writer // optional progress log
+	Log          io.Writer // optional progress log (writes are serialized)
+
+	// Workers bounds how many simulations run concurrently. Zero means
+	// runtime.GOMAXPROCS(0); 1 reproduces serial execution. Results are
+	// identical for every setting.
+	Workers int
 }
 
 // DefaultOptions runs the full nine-benchmark suite at 10 M instructions
-// per run.
+// per run, with one worker per available CPU.
 func DefaultOptions() Options {
 	return Options{
 		Instructions: 10_000_000,
@@ -37,7 +52,8 @@ func DefaultOptions() Options {
 }
 
 // PolicyFactory builds a fresh policy instance per run (policies are
-// stateful, so every simulation needs its own).
+// stateful, so every simulation needs its own). New must be safe to call
+// from multiple goroutines.
 type PolicyFactory struct {
 	Name string
 	New  func() (dtm.Policy, error)
@@ -127,9 +143,24 @@ func HybPolicy(cfg core.Config, stall bool) PolicyFactory {
 
 // Runner executes simulations with per-benchmark baseline caching: the
 // no-DTM run of each benchmark is shared by every slowdown measurement.
+// A Runner is safe for concurrent use; the baseline cache is singleflight
+// (concurrent requests for the same benchmark trigger exactly one
+// simulation, everyone else waits for it).
 type Runner struct {
-	opts      Options
-	baselines map[string]core.Result
+	opts    Options
+	workers int
+	log     *progressLogger
+
+	mu        sync.Mutex
+	baselines map[string]*baselineEntry
+}
+
+// baselineEntry is one in-flight or completed baseline computation. done is
+// closed when res/err are final.
+type baselineEntry struct {
+	done chan struct{}
+	res  core.Result
+	err  error
 }
 
 // NewRunner builds a runner.
@@ -140,37 +171,81 @@ func NewRunner(opts Options) (*Runner, error) {
 	if len(opts.Benchmarks) == 0 {
 		return nil, fmt.Errorf("experiments: no benchmarks")
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("experiments: negative worker count %d", opts.Workers)
+	}
 	if err := opts.Config.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{opts: opts, baselines: make(map[string]core.Result)}, nil
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		opts:      opts,
+		workers:   workers,
+		log:       newProgressLogger(opts.Log),
+		baselines: make(map[string]*baselineEntry),
+	}, nil
 }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
 
-func (r *Runner) logf(format string, args ...any) {
-	if r.opts.Log != nil {
-		fmt.Fprintf(r.opts.Log, format, args...)
-	}
-}
+// Workers returns the effective worker-pool size.
+func (r *Runner) Workers() int { return r.workers }
 
 // Baseline returns the cached no-DTM result for a benchmark.
 func (r *Runner) Baseline(prof trace.Profile) (core.Result, error) {
-	if res, ok := r.baselines[prof.Name]; ok {
-		return res, nil
+	return r.BaselineContext(context.Background(), prof)
+}
+
+// BaselineContext is Baseline with cancellation. Concurrent callers for the
+// same benchmark share one simulation. A result aborted by cancellation is
+// not cached, so a later call with a live context recomputes it; any other
+// error is cached (it is deterministic and would simply recur).
+func (r *Runner) BaselineContext(ctx context.Context, prof trace.Profile) (core.Result, error) {
+	for {
+		r.mu.Lock()
+		e, ok := r.baselines[prof.Name]
+		if !ok {
+			e = &baselineEntry{done: make(chan struct{})}
+			r.baselines[prof.Name] = e
+			r.mu.Unlock()
+			e.res, e.err = r.measureBaseline(ctx, prof)
+			if e.err != nil && errors.Is(e.err, ctx.Err()) {
+				r.mu.Lock()
+				delete(r.baselines, prof.Name)
+				r.mu.Unlock()
+			}
+			close(e.done)
+			return e.res, e.err
+		}
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+				// The owner was canceled; retry under our own context.
+				continue
+			}
+			return e.res, e.err
+		case <-ctx.Done():
+			return core.Result{}, ctx.Err()
+		}
 	}
-	r.logf("run %-9s %-8s...", prof.Name, "none")
+}
+
+// measureBaseline runs the uncached no-DTM simulation.
+func (r *Runner) measureBaseline(ctx context.Context, prof trace.Profile) (core.Result, error) {
 	sim, err := core.New(r.opts.Config, prof, nil)
 	if err != nil {
 		return core.Result{}, err
 	}
-	res, err := sim.Run(r.opts.Instructions)
+	res, err := sim.RunContext(ctx, r.opts.Instructions)
 	if err != nil {
 		return core.Result{}, err
 	}
-	r.logf(" done (maxT %.1f)\n", res.MaxTemp)
-	r.baselines[prof.Name] = res
+	r.log.printf("run %-9s %-8s done (maxT %.1f)\n", prof.Name, "none", res.MaxTemp)
 	return res, nil
 }
 
@@ -192,29 +267,35 @@ func (r *Runner) Run(prof trace.Profile, factory PolicyFactory) (Measurement, er
 // still taken from the runner's base config, which is what the paper
 // normalizes against).
 func (r *Runner) RunWithConfig(cfg core.Config, prof trace.Profile, factory PolicyFactory) (Measurement, error) {
-	base, err := r.Baseline(prof)
+	return r.runJob(context.Background(), Job{Config: cfg, Profile: prof, Factory: factory})
+}
+
+// runJob executes one simulation job: resolve the baseline (shared via the
+// singleflight cache), build a fresh policy, run, and normalize.
+func (r *Runner) runJob(ctx context.Context, job Job) (Measurement, error) {
+	base, err := r.BaselineContext(ctx, job.Profile)
 	if err != nil {
 		return Measurement{}, err
 	}
-	pol, err := factory.New()
+	pol, err := job.Factory.New()
 	if err != nil {
 		return Measurement{}, err
 	}
-	r.logf("run %-9s %-8s...", prof.Name, factory.Name)
-	sim, err := core.New(cfg, prof, pol)
+	sim, err := core.New(job.Config, job.Profile, pol)
 	if err != nil {
 		return Measurement{}, err
 	}
-	res, err := sim.Run(r.opts.Instructions)
+	res, err := sim.RunContext(ctx, r.opts.Instructions)
 	if err != nil {
 		return Measurement{}, err
 	}
-	r.logf(" done (maxT %.1f, violations %v)\n", res.MaxTemp, res.Violated())
+	r.log.printf("run %-9s %-8s done (maxT %.1f, violations %v)\n",
+		job.Profile.Name, job.Factory.Name, res.MaxTemp, res.Violated())
 	basePerInst := base.WallTime / float64(base.Instructions)
 	perInst := res.WallTime / float64(res.Instructions)
 	return Measurement{
-		Benchmark: prof.Name,
-		Policy:    factory.Name,
+		Benchmark: job.Profile.Name,
+		Policy:    job.Factory.Name,
 		Slowdown:  perInst / basePerInst,
 		Result:    res,
 	}, nil
@@ -223,20 +304,22 @@ func (r *Runner) RunWithConfig(cfg core.Config, prof trace.Profile, factory Poli
 // Suite runs every benchmark under the factory and returns measurements in
 // benchmark order.
 func (r *Runner) Suite(factory PolicyFactory) ([]Measurement, error) {
-	return r.SuiteWithConfig(r.opts.Config, factory)
+	return r.SuiteContext(context.Background(), r.opts.Config, factory)
 }
 
 // SuiteWithConfig is Suite with a config override.
 func (r *Runner) SuiteWithConfig(cfg core.Config, factory PolicyFactory) ([]Measurement, error) {
-	out := make([]Measurement, 0, len(r.opts.Benchmarks))
-	for _, b := range r.opts.Benchmarks {
-		m, err := r.RunWithConfig(cfg, b, factory)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, m)
+	return r.SuiteContext(context.Background(), cfg, factory)
+}
+
+// SuiteContext runs every benchmark under the factory on the worker pool
+// and returns measurements in benchmark order.
+func (r *Runner) SuiteContext(ctx context.Context, cfg core.Config, factory PolicyFactory) ([]Measurement, error) {
+	jobs := make([]Job, len(r.opts.Benchmarks))
+	for i, b := range r.opts.Benchmarks {
+		jobs[i] = Job{Config: cfg, Profile: b, Factory: factory}
 	}
-	return out, nil
+	return r.RunJobs(ctx, jobs)
 }
 
 // Slowdowns extracts the slowdown column.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -226,7 +227,7 @@ func TestMiniFig4Smoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Fig4(r, true)
+	res, err := Fig4(context.Background(), r, true)
 	if err != nil {
 		t.Fatal(err)
 	}

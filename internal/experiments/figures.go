@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"hybriddtm/internal/core"
 	"hybriddtm/internal/dtm"
 	"hybriddtm/internal/dvfs"
 	"hybriddtm/internal/stats"
@@ -13,6 +15,22 @@ import (
 // fetch cycle in x is gated, so gate fraction = 1/x. Larger duty values are
 // milder gating; in PI-Hyb they mean DVS engages sooner.
 var DutyCycleAxis = []float64{20, 10, 5, 4, 3, 2.5, 2, 1.5}
+
+// pihybAtDuty builds the PI-Hyb factory with its crossover at the given
+// duty cycle.
+func pihybAtDuty(cfg core.Config, duty float64) PolicyFactory {
+	gate := 1 / duty
+	return PolicyFactory{
+		Name: fmt.Sprintf("PI-Hyb(d=%g)", duty),
+		New: func() (dtm.Policy, error) {
+			ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
+			if err != nil {
+				return nil, err
+			}
+			return dtm.PIHyb(cfg.Trigger, dtm.DefaultFGGain, gate, ladder)
+		},
+	}
+}
 
 // Fig3aRow is one point of Figure 3a.
 type Fig3aRow struct {
@@ -29,31 +47,31 @@ type Fig3aResult struct {
 	Rows  []Fig3aRow
 }
 
-// Fig3a regenerates Figure 3a.
-func Fig3a(r *Runner, stall bool) (Fig3aResult, error) {
+// Fig3a regenerates Figure 3a. The whole duty × benchmark grid is submitted
+// to the worker pool at once (benchmark varies fastest, so the baseline
+// cache fans out across distinct benchmarks immediately).
+func Fig3a(ctx context.Context, r *Runner, stall bool) (Fig3aResult, error) {
 	cfg := r.opts.Config
 	cfg.DVSStall = stall
-	out := Fig3aResult{Stall: stall}
+	nb := len(r.opts.Benchmarks)
+	jobs := make([]Job, 0, len(DutyCycleAxis)*nb)
 	for _, duty := range DutyCycleAxis {
-		gate := 1 / duty
-		factory := PolicyFactory{
-			Name: fmt.Sprintf("PI-Hyb(d=%g)", duty),
-			New: func() (dtm.Policy, error) {
-				ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
-				if err != nil {
-					return nil, err
-				}
-				return dtm.PIHyb(cfg.Trigger, dtm.DefaultFGGain, gate, ladder)
-			},
+		factory := pihybAtDuty(cfg, duty)
+		for _, b := range r.opts.Benchmarks {
+			jobs = append(jobs, Job{Config: cfg, Profile: b, Factory: factory})
 		}
-		ms, err := r.SuiteWithConfig(cfg, factory)
-		if err != nil {
-			return Fig3aResult{}, err
-		}
+	}
+	ms, err := r.RunJobs(ctx, jobs)
+	if err != nil {
+		return Fig3aResult{}, err
+	}
+	out := Fig3aResult{Stall: stall}
+	for i, duty := range DutyCycleAxis {
+		row := ms[i*nb : (i+1)*nb]
 		out.Rows = append(out.Rows, Fig3aRow{
 			DutyCycle:    duty,
-			MeanSlowdown: stats.Mean(Slowdowns(ms)),
-			Violations:   AnyViolation(ms),
+			MeanSlowdown: stats.Mean(Slowdowns(row)),
+			Violations:   AnyViolation(row),
 		})
 	}
 	return out, nil
@@ -110,11 +128,13 @@ type Fig3bResult struct {
 	DVSSlowdown float64 // binary DVS-stall mean, the horizontal line
 }
 
-// Fig3b regenerates Figure 3b.
-func Fig3b(r *Runner) (Fig3bResult, error) {
+// Fig3b regenerates Figure 3b. The FG duty grid and the DVS reference
+// suite are submitted as one batch.
+func Fig3b(ctx context.Context, r *Runner) (Fig3bResult, error) {
 	cfg := r.opts.Config
 	cfg.DVSStall = true
-	var out Fig3bResult
+	nb := len(r.opts.Benchmarks)
+	jobs := make([]Job, 0, (len(DutyCycleAxis)+1)*nb)
 	for _, duty := range DutyCycleAxis {
 		gate := 1 / duty
 		factory := PolicyFactory{
@@ -123,21 +143,28 @@ func Fig3b(r *Runner) (Fig3bResult, error) {
 				return dtm.FixedFG(cfg.Trigger, gate)
 			},
 		}
-		ms, err := r.SuiteWithConfig(cfg, factory)
-		if err != nil {
-			return Fig3bResult{}, err
+		for _, b := range r.opts.Benchmarks {
+			jobs = append(jobs, Job{Config: cfg, Profile: b, Factory: factory})
 		}
-		out.Rows = append(out.Rows, Fig3bRow{
-			DutyCycle:    duty,
-			MeanSlowdown: stats.Mean(Slowdowns(ms)),
-			Violations:   AnyViolation(ms),
-		})
 	}
-	ms, err := r.SuiteWithConfig(cfg, DVSPolicy(cfg))
+	for _, b := range r.opts.Benchmarks {
+		jobs = append(jobs, Job{Config: cfg, Profile: b, Factory: DVSPolicy(cfg)})
+	}
+	ms, err := r.RunJobs(ctx, jobs)
 	if err != nil {
 		return Fig3bResult{}, err
 	}
-	out.DVSSlowdown = stats.Mean(Slowdowns(ms))
+	var out Fig3bResult
+	for i, duty := range DutyCycleAxis {
+		row := ms[i*nb : (i+1)*nb]
+		out.Rows = append(out.Rows, Fig3bRow{
+			DutyCycle:    duty,
+			MeanSlowdown: stats.Mean(Slowdowns(row)),
+			Violations:   AnyViolation(row),
+		})
+	}
+	dvs := ms[len(DutyCycleAxis)*nb:]
+	out.DVSSlowdown = stats.Mean(Slowdowns(dvs))
 	return out, nil
 }
 
@@ -173,8 +200,9 @@ type Fig4Result struct {
 // Fig4PolicyOrder is the presentation order of Figure 4's bars.
 var Fig4PolicyOrder = []string{"FG", "DVS", "PI-Hyb", "Hyb"}
 
-// Fig4 regenerates Figure 4a (stall=true) or 4b (stall=false).
-func Fig4(r *Runner, stall bool) (Fig4Result, error) {
+// Fig4 regenerates Figure 4a (stall=true) or 4b (stall=false). All policy
+// × benchmark simulations run as one batch on the worker pool.
+func Fig4(ctx context.Context, r *Runner, stall bool) (Fig4Result, error) {
 	cfg := r.opts.Config
 	cfg.DVSStall = stall
 	out := Fig4Result{
@@ -192,13 +220,21 @@ func Fig4(r *Runner, stall bool) (Fig4Result, error) {
 		PIHybPolicy(cfg, stall),
 		HybPolicy(cfg, stall),
 	}
+	nb := len(r.opts.Benchmarks)
+	jobs := make([]Job, 0, len(factories)*nb)
 	for _, f := range factories {
-		ms, err := r.SuiteWithConfig(cfg, f)
-		if err != nil {
-			return Fig4Result{}, err
+		for _, b := range r.opts.Benchmarks {
+			jobs = append(jobs, Job{Config: cfg, Profile: b, Factory: f})
 		}
-		out.Policies[f.Name] = Slowdowns(ms)
-		out.Violations[f.Name] = AnyViolation(ms)
+	}
+	ms, err := r.RunJobs(ctx, jobs)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	for i, f := range factories {
+		row := ms[i*nb : (i+1)*nb]
+		out.Policies[f.Name] = Slowdowns(row)
+		out.Violations[f.Name] = AnyViolation(row)
 	}
 	// The paired t-test needs at least two benchmarks; smoke-scale runs on
 	// a single workload simply omit the significance column.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -57,21 +58,25 @@ func (r LocalVsFGResult) FGMean() float64 { return stats.Mean(r.FG) }
 func (r LocalVsFGResult) LocalMean() float64 { return stats.Mean(r.Local) }
 
 // LocalVsFG runs stand-alone PI fetch gating against local toggling across
-// the suite.
-func LocalVsFG(r *Runner) (LocalVsFGResult, error) {
+// the suite, both policies as one batch on the worker pool.
+func LocalVsFG(ctx context.Context, r *Runner) (LocalVsFGResult, error) {
 	cfg := r.opts.Config
 	var out LocalVsFGResult
 	for _, b := range r.opts.Benchmarks {
 		out.Benchmarks = append(out.Benchmarks, b.Name)
 	}
-	fg, err := r.SuiteWithConfig(cfg, FGPolicy(cfg))
+	nb := len(r.opts.Benchmarks)
+	jobs := make([]Job, 0, 2*nb)
+	for _, f := range []PolicyFactory{FGPolicy(cfg), LocalTogglingPolicy(cfg)} {
+		for _, b := range r.opts.Benchmarks {
+			jobs = append(jobs, Job{Config: cfg, Profile: b, Factory: f})
+		}
+	}
+	ms, err := r.RunJobs(ctx, jobs)
 	if err != nil {
 		return LocalVsFGResult{}, err
 	}
-	local, err := r.SuiteWithConfig(cfg, LocalTogglingPolicy(cfg))
-	if err != nil {
-		return LocalVsFGResult{}, err
-	}
+	fg, local := ms[:nb], ms[nb:]
 	out.FG = Slowdowns(fg)
 	out.Local = Slowdowns(local)
 	out.FGViolations = AnyViolation(fg)

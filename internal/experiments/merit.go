@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"hybriddtm/internal/cpu"
@@ -27,6 +29,32 @@ type MeritStudyResult struct {
 	// PredictedCrossoverGate is the deepest gating whose merit still beats
 	// DVS — compare with the empirical Figure 3a crossover.
 	PredictedCrossoverGate float64
+}
+
+// MeritStudies runs MeritStudy for several benchmarks on a worker pool
+// (Options.Workers, defaulting to GOMAXPROCS) and returns results in input
+// order; the first failure cancels the remaining studies.
+func MeritStudies(ctx context.Context, opts Options, names []string) ([]MeritStudyResult, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]MeritStudyResult, len(names))
+	err := forEach(ctx, workers, len(names), func(ctx context.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := MeritStudy(opts, names[i])
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // MeritStudy characterizes one benchmark's operating point with the CPU

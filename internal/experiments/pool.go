@@ -1,0 +1,128 @@
+// Worker pool for the experiment engine. Every (benchmark, policy, config)
+// simulation is independent, so sweeps fan out over a bounded pool of
+// goroutines; the determinism guarantee is that results are written into a
+// slot chosen by submission index, never by completion order, which makes
+// output byte-identical across any Workers setting.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"hybriddtm/internal/core"
+	"hybriddtm/internal/trace"
+)
+
+// Job is one simulation request: a benchmark under a policy with a config
+// override. The slowdown is always normalized against the baseline of the
+// runner's base config, which is what the paper normalizes against.
+type Job struct {
+	Config  core.Config
+	Profile trace.Profile
+	Factory PolicyFactory
+}
+
+// RunJobs executes the jobs on the runner's worker pool and returns their
+// measurements in submission order. The first error cancels all outstanding
+// work and is returned; measurements of already-finished jobs are
+// discarded. Submitting jobs so that distinct benchmarks come first (e.g.
+// benchmark-major grids) lets the baseline singleflight cache fan out
+// instead of serializing the pool's start-up.
+func (r *Runner) RunJobs(ctx context.Context, jobs []Job) ([]Measurement, error) {
+	out := make([]Measurement, len(jobs))
+	err := forEach(ctx, r.workers, len(jobs), func(ctx context.Context, i int) error {
+		m, err := r.runJob(ctx, jobs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEach runs fn(ctx, i) for every i in [0, n) on at most `workers`
+// goroutines. The first error cancels the derived context, stops feeding
+// new indices, and is returned once all in-flight calls have finished.
+// When several calls fail concurrently the error of whichever recorded
+// first is kept (errors here are deterministic per index, so which one
+// surfaces does not affect reproducibility of successful runs).
+func forEach(ctx context.Context, workers, n int, fn func(context.Context, int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err() // parent cancellation with no worker error recorded
+}
+
+// progressLogger serializes progress output from concurrent workers so
+// lines never interleave mid-write. A nil writer disables logging.
+type progressLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newProgressLogger(w io.Writer) *progressLogger {
+	return &progressLogger{w: w}
+}
+
+func (l *progressLogger) printf(format string, args ...any) {
+	if l == nil || l.w == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, format, args...)
+}

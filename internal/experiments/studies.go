@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -35,8 +36,10 @@ func (s StepSizeResult) MaxSpread() float64 {
 }
 
 // StepSizeStudy regenerates the §4.1 step-size comparison for one DVS
-// variant.
-func StepSizeStudy(r *Runner, stall bool) (StepSizeResult, error) {
+// variant. The ladder × benchmark grid runs as one batch on the worker
+// pool; each ladder row carries its own config (the simulator must expose
+// the same operating points the policy requests).
+func StepSizeStudy(ctx context.Context, r *Runner, stall bool) (StepSizeResult, error) {
 	cfg := r.opts.Config
 	cfg.DVSStall = stall
 	out := StepSizeResult{
@@ -44,33 +47,41 @@ func StepSizeStudy(r *Runner, stall bool) (StepSizeResult, error) {
 		MeanSlowdown: make(map[int]float64),
 		Violations:   make(map[int]bool),
 	}
+	nb := len(r.opts.Benchmarks)
+	jobs := make([]Job, 0, len(StepSizeLadders)*nb)
 	for _, n := range StepSizeLadders {
 		steps := n
-		factory := PolicyFactory{
-			Name: fmt.Sprintf("DVS-%dstep", steps),
-			New: func() (dtm.Policy, error) {
-				ladder, err := dvfs.NewLadder(cfg.Tech, steps, cfg.VMinFrac)
-				if err != nil {
-					return nil, err
-				}
-				if steps == 2 {
-					return dtm.DVSBinary(cfg.Trigger, ladder)
-				}
-				return dtm.DVSPI(cfg.Trigger, ladder)
-			},
-		}
-		runCfg := cfg
 		ladder, err := dvfs.NewLadder(cfg.Tech, steps, cfg.VMinFrac)
 		if err != nil {
 			return StepSizeResult{}, err
 		}
-		runCfg.Ladder = ladder
-		ms, err := r.SuiteWithConfig(runCfg, factory)
-		if err != nil {
-			return StepSizeResult{}, err
+		factory := PolicyFactory{
+			Name: fmt.Sprintf("DVS-%dstep", steps),
+			New: func() (dtm.Policy, error) {
+				l, err := dvfs.NewLadder(cfg.Tech, steps, cfg.VMinFrac)
+				if err != nil {
+					return nil, err
+				}
+				if steps == 2 {
+					return dtm.DVSBinary(cfg.Trigger, l)
+				}
+				return dtm.DVSPI(cfg.Trigger, l)
+			},
 		}
-		out.MeanSlowdown[steps] = stats.Mean(Slowdowns(ms))
-		out.Violations[steps] = AnyViolation(ms)
+		runCfg := cfg
+		runCfg.Ladder = ladder
+		for _, b := range r.opts.Benchmarks {
+			jobs = append(jobs, Job{Config: runCfg, Profile: b, Factory: factory})
+		}
+	}
+	ms, err := r.RunJobs(ctx, jobs)
+	if err != nil {
+		return StepSizeResult{}, err
+	}
+	for i, n := range StepSizeLadders {
+		row := ms[i*nb : (i+1)*nb]
+		out.MeanSlowdown[n] = stats.Mean(Slowdowns(row))
+		out.Violations[n] = AnyViolation(row)
 	}
 	return out, nil
 }
@@ -121,21 +132,30 @@ func (v VoltageFloorResult) Floor() float64 {
 }
 
 // VoltageFloor regenerates the low-voltage search with binary DVS-stall.
-func VoltageFloor(r *Runner) (VoltageFloorResult, error) {
+// All fraction × benchmark simulations run as one batch.
+func VoltageFloor(ctx context.Context, r *Runner) (VoltageFloorResult, error) {
 	out := VoltageFloorResult{
 		ViolationFree: make(map[float64]bool),
 		MeanSlowdown:  make(map[float64]float64),
 	}
+	nb := len(r.opts.Benchmarks)
+	jobs := make([]Job, 0, len(VoltageFloorFracs)*nb)
 	for _, frac := range VoltageFloorFracs {
 		cfg := r.opts.Config
 		cfg.DVSStall = true
 		cfg.VMinFrac = frac
-		ms, err := r.SuiteWithConfig(cfg, DVSPolicy(cfg))
-		if err != nil {
-			return VoltageFloorResult{}, err
+		for _, b := range r.opts.Benchmarks {
+			jobs = append(jobs, Job{Config: cfg, Profile: b, Factory: DVSPolicy(cfg)})
 		}
-		out.ViolationFree[frac] = !AnyViolation(ms)
-		out.MeanSlowdown[frac] = stats.Mean(Slowdowns(ms))
+	}
+	ms, err := r.RunJobs(ctx, jobs)
+	if err != nil {
+		return VoltageFloorResult{}, err
+	}
+	for i, frac := range VoltageFloorFracs {
+		row := ms[i*nb : (i+1)*nb]
+		out.ViolationFree[frac] = !AnyViolation(row)
+		out.MeanSlowdown[frac] = stats.Mean(Slowdowns(row))
 	}
 	return out, nil
 }
@@ -168,15 +188,17 @@ type CharacteriseRow struct {
 
 // Characterise regenerates the §3 benchmark characterization: the nine
 // hottest SPEC programs, all spending most of their time above the trigger,
-// with the integer register file the hottest unit.
-func Characterise(r *Runner) ([]CharacteriseRow, error) {
-	var rows []CharacteriseRow
-	for _, b := range r.opts.Benchmarks {
-		res, err := r.Baseline(b)
+// with the integer register file the hottest unit. Baselines are computed
+// in parallel on the worker pool and land in the shared cache.
+func Characterise(ctx context.Context, r *Runner) ([]CharacteriseRow, error) {
+	rows := make([]CharacteriseRow, len(r.opts.Benchmarks))
+	err := forEach(ctx, r.workers, len(r.opts.Benchmarks), func(ctx context.Context, i int) error {
+		b := r.opts.Benchmarks[i]
+		res, err := r.BaselineContext(ctx, b)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, CharacteriseRow{
+		rows[i] = CharacteriseRow{
 			Benchmark:        b.Name,
 			IPC:              res.AvgIPC,
 			AvgPower:         res.AvgPower,
@@ -184,7 +206,11 @@ func Characterise(r *Runner) ([]CharacteriseRow, error) {
 			HottestBlock:     res.HottestBlock,
 			FracAboveTrigger: res.TimeAboveTrigger / res.WallTime,
 			Violates:         res.Violated(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -224,15 +250,18 @@ var CrossoverDuties = []float64{20, 5, 3, 2}
 // over.
 var CrossoverVMins = []float64{0.90, 0.85, 0.80}
 
-// CrossoverInvariance regenerates the §5.1 invariance study.
-func CrossoverInvariance(r *Runner) (CrossoverInvarianceResult, error) {
-	out := CrossoverInvarianceResult{BestDutyPerVMin: make(map[float64]float64)}
+// CrossoverInvariance regenerates the §5.1 invariance study. The whole
+// (vmin × duty × benchmark) grid — plus the feedback-free Hyb sweep — is
+// submitted as one batch; rows with violations are excluded from the
+// best-duty search, exactly as in the serial implementation.
+func CrossoverInvariance(ctx context.Context, r *Runner) (CrossoverInvarianceResult, error) {
+	nb := len(r.opts.Benchmarks)
+	var jobs []Job
+	// PI-Hyb rows: one per (vmin, duty) pair.
 	for _, vmin := range CrossoverVMins {
 		cfg := r.opts.Config
 		cfg.DVSStall = true
 		cfg.VMinFrac = vmin
-		var slows []float64
-		var duties []float64
 		for _, duty := range CrossoverDuties {
 			gate := 1 / duty
 			factory := PolicyFactory{
@@ -245,52 +274,63 @@ func CrossoverInvariance(r *Runner) (CrossoverInvarianceResult, error) {
 					return dtm.PIHyb(cfg.Trigger, dtm.DefaultFGGain, gate, ladder)
 				},
 			}
-			ms, err := r.SuiteWithConfig(cfg, factory)
-			if err != nil {
-				return CrossoverInvarianceResult{}, err
+			for _, b := range r.opts.Benchmarks {
+				jobs = append(jobs, Job{Config: cfg, Profile: b, Factory: factory})
 			}
-			if AnyViolation(ms) {
-				continue
-			}
-			slows = append(slows, stats.Mean(Slowdowns(ms)))
-			duties = append(duties, duty)
-		}
-		if len(slows) > 0 {
-			out.BestDutyPerVMin[vmin] = duties[ArgMin(slows)]
 		}
 	}
-	// Feedback-free Hyb at the default low voltage.
-	{
-		cfg := r.opts.Config
-		cfg.DVSStall = true
-		var slows []float64
-		var duties []float64
-		for _, duty := range CrossoverDuties {
-			gate := 1 / duty
-			factory := PolicyFactory{
-				Name: fmt.Sprintf("Hyb(d=%g)", duty),
-				New: func() (dtm.Policy, error) {
-					ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
-					if err != nil {
-						return nil, err
-					}
-					return dtm.Hyb(cfg.Trigger, HybDelta, gate, ladder)
-				},
-			}
-			ms, err := r.SuiteWithConfig(cfg, factory)
-			if err != nil {
-				return CrossoverInvarianceResult{}, err
-			}
-			if AnyViolation(ms) {
-				continue
-			}
-			slows = append(slows, stats.Mean(Slowdowns(ms)))
-			duties = append(duties, duty)
+	// Hyb rows at the default low voltage: one per duty.
+	hybCfg := r.opts.Config
+	hybCfg.DVSStall = true
+	for _, duty := range CrossoverDuties {
+		gate := 1 / duty
+		factory := PolicyFactory{
+			Name: fmt.Sprintf("Hyb(d=%g)", duty),
+			New: func() (dtm.Policy, error) {
+				ladder, err := dvfs.Binary(hybCfg.Tech, hybCfg.VMinFrac)
+				if err != nil {
+					return nil, err
+				}
+				return dtm.Hyb(hybCfg.Trigger, HybDelta, gate, ladder)
+			},
 		}
-		if len(slows) > 0 {
-			out.BestDutyHyb = duties[ArgMin(slows)]
+		for _, b := range r.opts.Benchmarks {
+			jobs = append(jobs, Job{Config: hybCfg, Profile: b, Factory: factory})
 		}
 	}
+
+	ms, err := r.RunJobs(ctx, jobs)
+	if err != nil {
+		return CrossoverInvarianceResult{}, err
+	}
+
+	// bestDuty scans consecutive duty rows starting at measurement offset
+	// `at`, skipping rows with violations, and returns the duty with the
+	// lowest mean slowdown (0 if every row violates).
+	bestDuty := func(at int) float64 {
+		var slows, duties []float64
+		for i, duty := range CrossoverDuties {
+			row := ms[at+i*nb : at+(i+1)*nb]
+			if AnyViolation(row) {
+				continue
+			}
+			slows = append(slows, stats.Mean(Slowdowns(row)))
+			duties = append(duties, duty)
+		}
+		if len(slows) == 0 {
+			return 0
+		}
+		return duties[ArgMin(slows)]
+	}
+
+	out := CrossoverInvarianceResult{BestDutyPerVMin: make(map[float64]float64)}
+	perVMin := len(CrossoverDuties) * nb
+	for vi, vmin := range CrossoverVMins {
+		if d := bestDuty(vi * perVMin); d != 0 {
+			out.BestDutyPerVMin[vmin] = d
+		}
+	}
+	out.BestDutyHyb = bestDuty(len(CrossoverVMins) * perVMin)
 	return out, nil
 }
 

@@ -1,0 +1,98 @@
+// End-to-end smoke tests: build every binary in cmd/ and examples/ once,
+// then run each with a tiny workload and assert it exits 0 and prints
+// something. These catch wiring regressions (flag parsing, factory
+// plumbing, ctx threading) that package tests miss.
+package hybriddtm
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func exeName(name string) string {
+	if runtime.GOOS == "windows" {
+		return name + ".exe"
+	}
+	return name
+}
+
+func TestSmokeBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs all binaries")
+	}
+	dir := t.TempDir()
+	// go build places one binary per main package in -o dir.
+	build := exec.Command("go", "build", "-o", dir+string(filepath.Separator),
+		"./cmd/...", "./examples/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+	}{
+		{"dtmsim-one", "dtmsim", []string{"-bench", "gzip", "-policy", "hyb", "-insts", "200000"}},
+		{"dtmsim-suite", "dtmsim", []string{"-bench", "gzip,art", "-policy", "dvs", "-insts", "200000", "-workers", "2"}},
+		{"experiments", "experiments", []string{"-insts", "200000", "-bench", "gzip", "-workers", "2", "bench"}},
+		{"hotspot", "hotspot", []string{"-power", "30"}},
+		{"tracegen", "tracegen", []string{"-bench", "gzip", "-n", "1000", "-o", filepath.Join(dir, "gzip.trc")}},
+		{"quickstart", "quickstart", []string{"-insts", "200000", "-quick"}},
+		{"crossover", "crossover", []string{"-insts", "200000", "-quick", "gzip"}},
+		{"proactive", "proactive", []string{"-insts", "200000", "-quick", "gzip"}},
+		{"thermalmap", "thermalmap", []string{"-ms", "0.5", "art"}},
+		{"customfloorplan", "customfloorplan", nil},
+	}
+
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		covered[tc.bin] = true
+	}
+	for _, name := range []string{"dtmsim", "experiments", "hotspot", "tracegen",
+		"quickstart", "crossover", "proactive", "thermalmap", "customfloorplan"} {
+		if !covered[name] {
+			t.Fatalf("binary %s missing from smoke cases", name)
+		}
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			cmd := exec.Command(filepath.Join(dir, exeName(tc.bin)), tc.args...)
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s",
+					tc.bin, tc.args, err, stdout.String(), stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Errorf("%s %v produced no stdout\nstderr:\n%s", tc.bin, tc.args, stderr.String())
+			}
+		})
+	}
+
+	// tracegen round-trip: the recorded trace must be inspectable.
+	t.Run("tracegen-inspect", func(t *testing.T) {
+		t.Parallel()
+		trc := filepath.Join(dir, "rt.trc")
+		if out, err := exec.Command(filepath.Join(dir, exeName("tracegen")),
+			"-bench", "art", "-n", "1000", "-o", trc).CombinedOutput(); err != nil {
+			t.Fatalf("record: %v\n%s", err, out)
+		}
+		var stdout bytes.Buffer
+		cmd := exec.Command(filepath.Join(dir, exeName("tracegen")), "-inspect", trc)
+		cmd.Stdout = &stdout
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("inspect: %v", err)
+		}
+		if stdout.Len() == 0 {
+			t.Error("inspect produced no output")
+		}
+	})
+}
