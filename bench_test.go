@@ -14,6 +14,7 @@ package hybriddtm
 import (
 	"context"
 	"fmt"
+	"io"
 	"testing"
 
 	"hybriddtm/internal/core"
@@ -23,6 +24,7 @@ import (
 	"hybriddtm/internal/experiments"
 	"hybriddtm/internal/floorplan"
 	"hybriddtm/internal/hotspot"
+	"hybriddtm/internal/obs"
 	"hybriddtm/internal/power"
 	"hybriddtm/internal/stats"
 	"hybriddtm/internal/trace"
@@ -470,6 +472,62 @@ func BenchmarkCoupledLoop(b *testing.B) {
 		}
 		b.ReportMetric(float64(res.Instructions)/b.Elapsed().Seconds(), "simInsts/s")
 	}
+}
+
+// benchCoupled runs the BenchmarkCoupledLoop workload (bzip2 under Hyb,
+// DVS-stall) with the given per-iteration tracer factory, so the
+// Tracer* benches differ from the baseline only in the tracer.
+func benchCoupled(b *testing.B, mkTracer func() obs.Tracer) {
+	b.Helper()
+	prof, _ := trace.ByName("bzip2")
+	cfg := benchOptions().Config
+	ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, err := dtm.Hyb(cfg.Trigger, 0.4, experiments.CrossoverGateStall, ladder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := cfg
+		if mkTracer != nil {
+			c.Tracer = mkTracer()
+		}
+		sim, err := core.New(c, prof, pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Instructions)/b.Elapsed().Seconds(), "simInsts/s")
+	}
+}
+
+// BenchmarkTracerNil is the disabled-tracer fast path: the CI overhead
+// gate compares it against BenchmarkCoupledLoop (pre-observability
+// baseline shape) and fails if the nil check costs more than 2%.
+func BenchmarkTracerNil(b *testing.B) { benchCoupled(b, nil) }
+
+// BenchmarkTracerMetrics measures the aggregate-counters-only tracer.
+func BenchmarkTracerMetrics(b *testing.B) {
+	reg := obs.NewRegistry()
+	benchCoupled(b, func() obs.Tracer { return obs.NewMetricsTracer(reg) })
+}
+
+// BenchmarkTracerRing measures the post-mortem ring buffer (copies every
+// event's slices into retained storage).
+func BenchmarkTracerRing(b *testing.B) {
+	benchCoupled(b, func() obs.Tracer { return obs.NewRing(4096) })
+}
+
+// BenchmarkTracerJSONL measures the full streaming sink with I/O factored
+// out (io.Discard), i.e. pure serialization cost.
+func BenchmarkTracerJSONL(b *testing.B) {
+	benchCoupled(b, func() obs.Tracer { return obs.NewJSONL(io.Discard) })
 }
 
 // BenchmarkStatsTTest measures the paired t-test used for the 99%

@@ -6,18 +6,25 @@
 //	dtmsim -bench gzip -policy hyb [-insts N] [-ideal] [-gate G] [-vmin V]
 //	dtmsim -bench gzip,bzip2,art -policy dvs -workers 4
 //	dtmsim -bench all -policy pi-hyb
+//	dtmsim -bench gzip -policy hyb -trace-out run.jsonl -metrics
 //
 // Policies: none, dvs, dvs-pi, fg, fg-fixed, clockgate, pi-hyb, hyb,
 // local, proactive-dvs. With several benchmarks (comma-separated, or
 // "all") the simulations fan out over -workers goroutines (default: one
 // per CPU) and a slowdown table is printed; results are identical for any
 // worker count.
+//
+// Observability: -trace-out writes the run's event stream (JSON Lines, or
+// CSV when the path ends in .csv; single-benchmark runs only), -metrics
+// prints aggregate counters to stderr, -v/-quiet adjust logging, and
+// -cpuprofile/-memprofile/-runtime-metrics capture profiles.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,6 +34,7 @@ import (
 	"hybriddtm/internal/dvfs"
 	"hybriddtm/internal/experiments"
 	"hybriddtm/internal/floorplan"
+	"hybriddtm/internal/obs"
 	"hybriddtm/internal/stats"
 	"hybriddtm/internal/trace"
 )
@@ -49,11 +57,26 @@ func run(ctx context.Context) error {
 	vmin := flag.Float64("vmin", 0.85, "DVS low voltage as a fraction of nominal")
 	steps := flag.Int("steps", 5, "DVS ladder steps for dvs-pi")
 	workers := flag.Int("workers", 0, "concurrent simulations for multi-benchmark runs (0 = one per CPU)")
+	traceOut := flag.String("trace-out", "", "write the event trace to this file (JSONL; .csv extension switches format; single benchmark only)")
+	metrics := flag.Bool("metrics", false, "print aggregate simulation metrics to stderr at exit")
+	verbose := flag.Bool("v", false, "debug logging: one line per completed simulation")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf() //nolint:errcheck // second call below reports the error
 
 	profs, err := parseBenchmarks(*bench)
 	if err != nil {
 		return err
+	}
+	if *traceOut != "" && len(profs) != 1 {
+		return fmt.Errorf("-trace-out records a single run; got %d benchmarks", len(profs))
 	}
 
 	cfg := core.DefaultConfig()
@@ -65,10 +88,64 @@ func run(ctx context.Context) error {
 		return err
 	}
 
-	if len(profs) == 1 {
-		return runOne(ctx, cfg, profs[0], factory, *insts)
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
 	}
-	return runSuite(ctx, cfg, profs, factory, *insts, *workers)
+	if len(profs) == 1 {
+		err = runOne(ctx, cfg, profs[0], factory, *insts, *traceOut, reg)
+	} else {
+		err = runSuite(ctx, cfg, profs, factory, *insts, *workers, logger(*verbose, *quiet), reg)
+	}
+	if err != nil {
+		return err
+	}
+	if reg != nil {
+		if err := reg.WriteSummary(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return stopProf()
+}
+
+// logger builds the stderr slog logger for the chosen verbosity: Info
+// (pool progress) by default, Debug (every run) with -v, none with -quiet.
+func logger(verbose, quiet bool) *slog.Logger {
+	if quiet {
+		return nil
+	}
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+}
+
+// openTraceSink opens path and builds the matching sink: CSV for .csv,
+// JSON Lines otherwise. The returned close function reports deferred
+// serialization errors.
+func openTraceSink(path string) (obs.Tracer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sink obs.Tracer
+	errOf := func() error { return nil }
+	if strings.HasSuffix(path, ".csv") {
+		s := obs.NewCSV(f)
+		sink, errOf = s, s.Err
+	} else {
+		s := obs.NewJSONL(f)
+		sink, errOf = s, s.Err
+	}
+	closeFn := func() error {
+		if err := errOf(); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		return f.Close()
+	}
+	return sink, closeFn, nil
 }
 
 // parseBenchmarks resolves a benchmark flag value ("gzip", "gzip,art" or
@@ -169,11 +246,30 @@ func policyFactory(cfg *core.Config, name string, gate float64, steps int) (expe
 	}
 }
 
-// runOne prints the detailed single-benchmark summary.
-func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory experiments.PolicyFactory, insts uint64) error {
+// runOne prints the detailed single-benchmark summary, optionally tracing
+// the run to a sink and folding its events into a metrics registry.
+func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory experiments.PolicyFactory, insts uint64, traceOut string, reg *obs.Registry) (err error) {
 	pol, err := factory.New()
 	if err != nil {
 		return err
+	}
+	if traceOut != "" {
+		sink, closeSink, cerr := openTraceSink(traceOut)
+		if cerr != nil {
+			return cerr
+		}
+		// Close even when the run fails: RunContext's deferred End has
+		// already flushed whatever the sink saw, which is exactly what a
+		// post-mortem needs.
+		defer func() {
+			if cerr := closeSink(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		cfg.Tracer = obs.Combine(cfg.Tracer, sink)
+	}
+	if reg != nil {
+		cfg.Tracer = obs.Combine(cfg.Tracer, obs.NewMetricsTracer(reg))
 	}
 	sim, err := core.New(cfg, prof, pol)
 	if err != nil {
@@ -207,13 +303,14 @@ func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory ex
 // runSuite fans the benchmarks out over the experiment engine's worker
 // pool and prints a slowdown table (normalized against each benchmark's
 // no-DTM baseline).
-func runSuite(ctx context.Context, cfg core.Config, profs []trace.Profile, factory experiments.PolicyFactory, insts uint64, workers int) error {
+func runSuite(ctx context.Context, cfg core.Config, profs []trace.Profile, factory experiments.PolicyFactory, insts uint64, workers int, log *slog.Logger, reg *obs.Registry) error {
 	r, err := experiments.NewRunner(experiments.Options{
 		Instructions: insts,
 		Benchmarks:   profs,
 		Config:       cfg,
 		Workers:      workers,
-		Log:          os.Stderr,
+		Logger:       log,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return err
@@ -233,6 +330,10 @@ func runSuite(ctx context.Context, cfg core.Config, profs []trace.Profile, facto
 		fmt.Printf("%-9s  %8.4f  %8.2f  %10s  %d\n",
 			m.Benchmark, m.Slowdown, m.Result.MaxTemp, v, m.Result.DVSSwitches)
 	}
-	fmt.Printf("%-9s  %8.4f\n", "MEAN", stats.Mean(experiments.Slowdowns(ms)))
+	mean, err := stats.MeanChecked(experiments.Slowdowns(ms))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s  %8.4f\n", "MEAN", mean)
 	return nil
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-insts N] [-bench name] [-workers N] [-v] [-fig id ...]
+//	experiments [-insts N] [-bench name] [-workers N] [-v] [-quiet] [id ...]
 //
 // where id is one of: bench, 3a, 3a-ideal, 3b, 4a, 4b, steps, vfloor,
 // cross, all. Default: all. Independent simulations fan out over -workers
@@ -13,18 +13,26 @@
 // count, so -workers only changes wall-clock time. Use -insts to scale the
 // per-run instruction budget. Interrupting (Ctrl-C) cancels outstanding
 // simulations promptly.
+//
+// Observability: progress (N/M jobs with ETA) goes to stderr at Info
+// level; -v adds a Debug line per simulation, -quiet silences both. A
+// metrics summary (runs, thermal steps, DVS switches, trigger residency,
+// job latency) is printed to stderr at exit; -metrics-addr serves the
+// same registry over HTTP while the sweep runs.
+// -cpuprofile/-memprofile/-runtime-metrics capture profiles.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 
 	"hybriddtm/internal/experiments"
+	"hybriddtm/internal/obs"
 	"hybriddtm/internal/trace"
 )
 
@@ -41,8 +49,18 @@ func run(ctx context.Context) error {
 	insts := flag.Uint64("insts", 10_000_000, "instructions simulated per run")
 	bench := flag.String("bench", "", "restrict to one benchmark (default: all nine)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
-	verbose := flag.Bool("v", false, "log each simulation run")
+	verbose := flag.Bool("v", false, "debug logging: one line per completed simulation")
+	quiet := flag.Bool("quiet", false, "suppress progress logging and the metrics summary")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9090)")
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf() //nolint:errcheck // reported via the explicit call below
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -70,11 +88,23 @@ func run(ctx context.Context) error {
 		}
 		opts.Benchmarks = []trace.Profile{p}
 	}
-	var log io.Writer
-	if *verbose {
-		log = os.Stderr
+	if !*quiet {
+		level := slog.LevelInfo
+		if *verbose {
+			level = slog.LevelDebug
+		}
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	}
-	opts.Log = log
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	if *metricsAddr != "" {
+		addr, stopServe, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stopServe() //nolint:errcheck // best-effort shutdown
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	}
 
 	r, err := experiments.NewRunner(opts)
 	if err != nil {
@@ -177,5 +207,11 @@ func run(ctx context.Context) error {
 			fmt.Println(res)
 		}
 	}
-	return nil
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+		if err := reg.WriteSummary(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return stopProf()
 }

@@ -18,6 +18,7 @@ import (
 
 	"hybriddtm/internal/floorplan"
 	"hybriddtm/internal/hotspot"
+	"hybriddtm/internal/obs"
 )
 
 type blockPowerFlag map[string]float64
@@ -50,7 +51,15 @@ func run() error {
 	flpPath := flag.String("flp", "", "load a HotSpot-format .flp floorplan instead of the built-in EV6")
 	extra := blockPowerFlag{}
 	flag.Var(extra, "block", "additional per-block power, name=watts (repeatable)")
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf() //nolint:errcheck // reported via the explicit call below
 
 	fp := floorplan.EV6()
 	if *flpPath != "" {
@@ -123,5 +132,5 @@ func run() error {
 		fmt.Printf("t=%6.2f ms  %7.3f °C (sink %7.3f °C)\n",
 			m.Time()*1e3, m.BlockTemps(nil)[hot], m.SinkTemp())
 	}
-	return nil
+	return stopProf()
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"hybriddtm/internal/obs"
 	"hybriddtm/internal/trace"
 )
 
@@ -31,10 +32,21 @@ func run() error {
 	n := flag.Uint64("n", 1_000_000, "instructions to record")
 	out := flag.String("o", "", "output trace file (default <bench>.trc)")
 	inspect := flag.String("inspect", "", "inspect an existing trace file instead of recording")
+	var pflags obs.ProfileFlags
+	pflags.Register(flag.CommandLine)
 	flag.Parse()
 
+	stopProf, err := pflags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf() //nolint:errcheck // reported via the explicit call below
+
 	if *inspect != "" {
-		return inspectTrace(*inspect)
+		if err := inspectTrace(*inspect); err != nil {
+			return err
+		}
+		return stopProf()
 	}
 
 	prof, ok := trace.ByName(*bench)
@@ -58,7 +70,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("wrote %d instructions of %s to %s\n", *n, prof.Name, path)
-	return nil
+	return stopProf()
 }
 
 func inspectTrace(path string) error {

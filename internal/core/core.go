@@ -21,6 +21,7 @@ import (
 	"hybriddtm/internal/dvfs"
 	"hybriddtm/internal/floorplan"
 	"hybriddtm/internal/hotspot"
+	"hybriddtm/internal/obs"
 	"hybriddtm/internal/power"
 	"hybriddtm/internal/sensor"
 	"hybriddtm/internal/trace"
@@ -70,6 +71,16 @@ type Config struct {
 	// MaxWallTime aborts a run that simulates more than this many seconds,
 	// guarding against policies that stop the clock and never release it.
 	MaxWallTime float64
+
+	// Tracer, when non-nil, receives the run's typed event stream (thermal
+	// steps, sensor samples, policy decisions, actuator changes, threshold
+	// crossings — see internal/obs). Events start after warm-up, i.e. the
+	// settle phase is included and flagged via Event.Measuring. The nil
+	// case is the fast path: one branch per thermal step, no allocation
+	// (<2% overhead, gated by the root BenchmarkTracer* benches). A Tracer
+	// instance belongs to one run; concurrent simulations must not share
+	// one (share a metrics Registry via per-run MetricsTracers instead).
+	Tracer obs.Tracer
 
 	// SettleInstructions are executed with the DTM policy live before
 	// statistics are tracked. The paper's measurement windows begin after
@@ -366,6 +377,31 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 	stepCycles := uint64(s.cfg.ThermalStepCycles)
 	samplePeriod := s.cfg.Sensors.SamplePeriod()
 
+	// Observability: tr is hoisted so the disabled path is one nil check
+	// per emission site. Crossing state tracks the hottest *true*
+	// temperature against the thresholds so traces pinpoint when and for
+	// how long the chip sat above the trigger.
+	tr := s.cfg.Tracer
+	var stepIdx uint64
+	wasAboveTrigger, wasAboveEmergency := false, false
+	prevGate, prevClockStop := 0.0, false
+	if tr != nil {
+		blocks := make([]string, s.fp.NumBlocks())
+		for i := range blocks {
+			blocks[i] = s.fp.Block(i).Name
+		}
+		tr.Begin(obs.Meta{
+			Benchmark:         s.prof.Name,
+			Policy:            s.policy.Name(),
+			Blocks:            blocks,
+			ThermalStepCycles: s.cfg.ThermalStepCycles,
+			SamplePeriod:      samplePeriod,
+			Trigger:           s.cfg.Trigger,
+			Emergency:         s.cfg.EmergencyThreshold,
+		})
+		defer tr.End()
+	}
+
 	// Actuator state.
 	level := 0
 	gates := cpu.Gates{}
@@ -398,6 +434,7 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 		op := s.ladder.Point(level)
 		dt := float64(stepCycles) / op.F
 		clockFrac := 1.0
+		stalled := false
 		act.Reset()
 
 		switch {
@@ -408,6 +445,7 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 		case stallRemaining > 0:
 			// DVS transition with pipeline stalled: clock runs (idle
 			// power), nothing executes.
+			stalled = true
 			if stallRemaining < dt {
 				dt = stallRemaining
 			}
@@ -432,11 +470,35 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 		}
 		temps = s.tm.BlockTemps(temps)
 		wall += dt
+		stepIdx++
+
+		var hi int
+		var ht float64
+		if measuring || tr != nil {
+			hi, ht = s.tm.MaxBlockTemp()
+		}
+		if tr != nil {
+			tr.Emit(&obs.Event{
+				Kind: obs.KindStep, Time: wall, Cycle: s.core.Cycle(), Step: stepIdx, Measuring: measuring,
+				Dt: dt, Temps: temps, Power: pvec, MaxTemp: ht, Hottest: hi,
+				Level: level, GateFrac: gates.Fetch, ClockStop: clockStop,
+				Stalled: stalled, StallRemaining: stallRemaining,
+			})
+			if above := ht > s.cfg.Trigger; above != wasAboveTrigger {
+				wasAboveTrigger = above
+				tr.Emit(&obs.Event{Kind: obs.KindCrossing, Time: wall, Cycle: s.core.Cycle(), Step: stepIdx,
+					Measuring: measuring, Threshold: "trigger", Above: above, MaxTemp: ht})
+			}
+			if above := ht > s.cfg.EmergencyThreshold; above != wasAboveEmergency {
+				wasAboveEmergency = above
+				tr.Emit(&obs.Event{Kind: obs.KindCrossing, Time: wall, Cycle: s.core.Cycle(), Step: stepIdx,
+					Measuring: measuring, Threshold: "emergency", Above: above, MaxTemp: ht})
+			}
+		}
 
 		// Bookkeeping on true temperatures, once the DTM controllers have
 		// settled.
 		if measuring {
-			hi, ht := s.tm.MaxBlockTemp()
 			if ht > maxTemp {
 				maxTemp, hottest = ht, hi
 			}
@@ -458,10 +520,16 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 
 		// Apply a pending (ideal-mode) DVS transition.
 		if pendingLevel >= 0 && wall >= pendingAt {
+			from := level
 			level = pendingLevel
 			pendingLevel = -1
 			if err := s.core.SetFrequencyRatio(s.ladder.Point(level).F / nomF); err != nil {
 				return Result{}, err
+			}
+			if tr != nil {
+				tr.Emit(&obs.Event{Kind: obs.KindActuation, Time: wall, Cycle: s.core.Cycle(), Step: stepIdx,
+					Measuring: measuring, Level: level, FromLevel: from, SwitchApplied: true,
+					GateFrac: gates.Fetch, ClockStop: clockStop})
 			}
 		}
 
@@ -473,10 +541,22 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 				return Result{}, err
 			}
 			var d dtm.Decision
+			var maxR float64
 			if vp, ok := s.policy.(dtm.VectorPolicy); ok {
 				d = vp.SampleVector(readings, samplePeriod)
+				if tr != nil {
+					maxR = sensor.Max(readings)
+				}
 			} else {
-				d = s.policy.Sample(sensor.Max(readings), samplePeriod)
+				maxR = sensor.Max(readings)
+				d = s.policy.Sample(maxR, samplePeriod)
+			}
+			if tr != nil {
+				cyc := s.core.Cycle()
+				tr.Emit(&obs.Event{Kind: obs.KindSensor, Time: wall, Cycle: cyc, Step: stepIdx,
+					Measuring: measuring, Readings: readings, MaxReading: maxR})
+				tr.Emit(&obs.Event{Kind: obs.KindDecision, Time: wall, Cycle: cyc, Step: stepIdx,
+					Measuring: measuring, DecGate: d.GateFrac, DecLevel: d.Level, DecClockStop: d.ClockStop})
 			}
 			gates = cpu.Gates{Fetch: d.GateFrac, Int: d.IntGate, FP: d.FPGate, Mem: d.MemGate}
 			clockStop = d.ClockStop
@@ -487,8 +567,11 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 			if want >= s.ladder.NumPoints() {
 				want = s.ladder.NumPoints() - 1
 			}
+			switched := false
+			fromLevel := level
 			if want != level && pendingLevel < 0 && stallRemaining == 0 {
 				res.DVSSwitches++
+				switched = true
 				if s.cfg.DVSStall {
 					// Pipeline stalls through the transition; the new
 					// setting is live afterwards.
@@ -501,6 +584,14 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 					pendingLevel = want
 					pendingAt = wall + s.cfg.DVSSwitchTime
 				}
+			}
+			if tr != nil && (switched || gates.Fetch != prevGate || clockStop != prevClockStop) {
+				prevGate, prevClockStop = gates.Fetch, clockStop
+				tr.Emit(&obs.Event{Kind: obs.KindActuation, Time: wall, Cycle: s.core.Cycle(), Step: stepIdx,
+					Measuring: measuring, GateFrac: gates.Fetch, ClockStop: clockStop,
+					Level: want, FromLevel: fromLevel,
+					SwitchStarted: switched, SwitchStalls: switched && s.cfg.DVSStall,
+					StallRemaining: stallRemaining})
 			}
 		}
 

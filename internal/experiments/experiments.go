@@ -16,12 +16,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
+	"time"
 
 	"hybriddtm/internal/core"
 	"hybriddtm/internal/dtm"
 	"hybriddtm/internal/dvfs"
+	"hybriddtm/internal/obs"
 	"hybriddtm/internal/trace"
 )
 
@@ -33,7 +36,24 @@ type Options struct {
 	Instructions uint64
 	Benchmarks   []trace.Profile
 	Config       core.Config
-	Log          io.Writer // optional progress log (writes are serialized)
+
+	// Log is an optional destination for human-readable progress. It is
+	// wrapped in a debug-level slog text handler; prefer Logger for full
+	// control over level and format. Ignored when Logger is set.
+	Log io.Writer
+
+	// Logger, when non-nil, receives structured logs: per-run completions
+	// at Debug ("run"), pool progress with ETA at Info ("progress").
+	// slog handlers serialize concurrent writes, so one logger is safe
+	// across the worker pool.
+	Logger *slog.Logger
+
+	// Metrics, when non-nil, aggregates observability counters across
+	// every simulation the runner executes (thermal steps, DVS switches,
+	// trigger residency, per-job latency, ...). Each run gets its own
+	// obs.MetricsTracer feeding this shared registry, chained after any
+	// Tracer already present on the job's Config.
+	Metrics *obs.Registry
 
 	// Workers bounds how many simulations run concurrently. Zero means
 	// runtime.GOMAXPROCS(0); 1 reproduces serial execution. Results are
@@ -149,7 +169,8 @@ func HybPolicy(cfg core.Config, stall bool) PolicyFactory {
 type Runner struct {
 	opts    Options
 	workers int
-	log     *progressLogger
+	log     *slog.Logger  // nil disables logging
+	metrics *obs.Registry // nil disables metric aggregation
 
 	mu        sync.Mutex
 	baselines map[string]*baselineEntry
@@ -181,10 +202,16 @@ func NewRunner(opts Options) (*Runner, error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	logger := opts.Logger
+	if logger == nil && opts.Log != nil {
+		logger = slog.New(slog.NewTextHandler(opts.Log,
+			&slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
 	return &Runner{
 		opts:      opts,
 		workers:   workers,
-		log:       newProgressLogger(opts.Log),
+		log:       logger,
+		metrics:   opts.Metrics,
 		baselines: make(map[string]*baselineEntry),
 	}, nil
 }
@@ -237,7 +264,8 @@ func (r *Runner) BaselineContext(ctx context.Context, prof trace.Profile) (core.
 
 // measureBaseline runs the uncached no-DTM simulation.
 func (r *Runner) measureBaseline(ctx context.Context, prof trace.Profile) (core.Result, error) {
-	sim, err := core.New(r.opts.Config, prof, nil)
+	cfg := r.instrument(r.opts.Config)
+	sim, err := core.New(cfg, prof, nil)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -245,8 +273,20 @@ func (r *Runner) measureBaseline(ctx context.Context, prof trace.Profile) (core.
 	if err != nil {
 		return core.Result{}, err
 	}
-	r.log.printf("run %-9s %-8s done (maxT %.1f)\n", prof.Name, "none", res.MaxTemp)
+	if r.log != nil {
+		r.log.Debug("run", "bench", prof.Name, "policy", "none", "maxT", res.MaxTemp)
+	}
 	return res, nil
+}
+
+// instrument chains a per-run metrics tracer onto cfg when the runner has
+// a shared registry. The registry is the concurrency-safe aggregation
+// point; the tracer instance is fresh per run, as core.Config requires.
+func (r *Runner) instrument(cfg core.Config) core.Config {
+	if r.metrics != nil {
+		cfg.Tracer = obs.Combine(cfg.Tracer, obs.NewMetricsTracer(r.metrics))
+	}
+	return cfg
 }
 
 // Measurement is one benchmark × policy slowdown result.
@@ -271,8 +311,11 @@ func (r *Runner) RunWithConfig(cfg core.Config, prof trace.Profile, factory Poli
 }
 
 // runJob executes one simulation job: resolve the baseline (shared via the
-// singleflight cache), build a fresh policy, run, and normalize.
+// singleflight cache), build a fresh policy, run, and normalize. Job
+// wall-clock latency feeds the pool.job_s histogram when a registry is
+// attached — latency is host time, so it never influences Measurements.
 func (r *Runner) runJob(ctx context.Context, job Job) (Measurement, error) {
+	start := time.Now()
 	base, err := r.BaselineContext(ctx, job.Profile)
 	if err != nil {
 		return Measurement{}, err
@@ -281,7 +324,7 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	sim, err := core.New(job.Config, job.Profile, pol)
+	sim, err := core.New(r.instrument(job.Config), job.Profile, pol)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -289,8 +332,14 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	r.log.printf("run %-9s %-8s done (maxT %.1f, violations %v)\n",
-		job.Profile.Name, job.Factory.Name, res.MaxTemp, res.Violated())
+	if r.metrics != nil {
+		r.metrics.Counter(obs.MetricPoolJobs).Inc()
+		r.metrics.Histogram(obs.MetricPoolJobSeconds).Observe(time.Since(start).Seconds())
+	}
+	if r.log != nil {
+		r.log.Debug("run", "bench", job.Profile.Name, "policy", job.Factory.Name,
+			"maxT", res.MaxTemp, "violated", res.Violated())
+	}
 	basePerInst := base.WallTime / float64(base.Instructions)
 	perInst := res.WallTime / float64(res.Instructions)
 	return Measurement{

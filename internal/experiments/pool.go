@@ -7,11 +7,13 @@ package experiments
 
 import (
 	"context"
-	"fmt"
-	"io"
+	"log/slog"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hybriddtm/internal/core"
+	"hybriddtm/internal/obs"
 	"hybriddtm/internal/trace"
 )
 
@@ -32,18 +34,50 @@ type Job struct {
 // instead of serializing the pool's start-up.
 func (r *Runner) RunJobs(ctx context.Context, jobs []Job) ([]Measurement, error) {
 	out := make([]Measurement, len(jobs))
+	prog := r.newProgress(len(jobs))
 	err := forEach(ctx, r.workers, len(jobs), func(ctx context.Context, i int) error {
+		if r.metrics != nil {
+			g := r.metrics.Gauge(obs.MetricPoolActive)
+			g.Add(1)
+			defer g.Add(-1)
+		}
 		m, err := r.runJob(ctx, jobs[i])
 		if err != nil {
 			return err
 		}
 		out[i] = m
+		prog.done()
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// progress reports N/M completion with an ETA extrapolated from the mean
+// job latency so far. Reporting goes through the runner's slog logger at
+// Info level — human-readable when the CLIs wire stderr, silent otherwise.
+type progress struct {
+	log       *slog.Logger
+	total     int
+	completed atomic.Int64
+	start     time.Time
+}
+
+func (r *Runner) newProgress(total int) *progress {
+	return &progress{log: r.log, total: total, start: time.Now()}
+}
+
+func (p *progress) done() {
+	n := int(p.completed.Add(1))
+	if p.log == nil || !p.log.Enabled(context.Background(), slog.LevelInfo) {
+		return
+	}
+	elapsed := time.Since(p.start)
+	eta := time.Duration(float64(elapsed) / float64(n) * float64(p.total-n)).Round(time.Second)
+	p.log.Info("progress", "done", n, "total", p.total,
+		"elapsed", elapsed.Round(time.Second).String(), "eta", eta.String())
 }
 
 // forEach runs fn(ctx, i) for every i in [0, n) on at most `workers`
@@ -105,24 +139,4 @@ feed:
 		return firstErr
 	}
 	return ctx.Err() // parent cancellation with no worker error recorded
-}
-
-// progressLogger serializes progress output from concurrent workers so
-// lines never interleave mid-write. A nil writer disables logging.
-type progressLogger struct {
-	mu sync.Mutex
-	w  io.Writer
-}
-
-func newProgressLogger(w io.Writer) *progressLogger {
-	return &progressLogger{w: w}
-}
-
-func (l *progressLogger) printf(format string, args ...any) {
-	if l == nil || l.w == nil {
-		return
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	fmt.Fprintf(l.w, format, args...)
 }

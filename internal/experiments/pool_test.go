@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"fmt"
 	"reflect"
 	"strings"
 	"sync"
@@ -12,6 +11,7 @@ import (
 
 	"hybriddtm/internal/core"
 	"hybriddtm/internal/dtm"
+	"hybriddtm/internal/obs"
 	"hybriddtm/internal/trace"
 )
 
@@ -126,7 +126,7 @@ func TestBaselineSingleflight(t *testing.T) {
 			t.Errorf("goroutine %d saw a different baseline: %+v vs %+v", i, results[i], results[0])
 		}
 	}
-	if n := strings.Count(buf.String(), "run "); n != 1 {
+	if n := strings.Count(buf.String(), "msg=run "); n != 1 {
 		t.Errorf("baseline simulated %d times, want exactly 1 (singleflight)\nlog:\n%s", n, buf.String())
 	}
 }
@@ -226,30 +226,49 @@ func TestWorkersDefault(t *testing.T) {
 	}
 }
 
-// TestProgressLoggerConcurrent drives the logger from many goroutines and
-// checks no line interleaves mid-write.
-func TestProgressLoggerConcurrent(t *testing.T) {
-	var buf bytes.Buffer
-	l := newProgressLogger(&buf)
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < 50; i++ {
-				l.printf("line g=%d i=%d\n", g, i)
-			}
-		}(g)
+// TestSharedRegistryUnderPool hammers one metrics Registry from a
+// 16-worker pool. Run under -race this proves the lock-free counters,
+// gauges and histograms (and the per-run MetricsTracers feeding them) are
+// safe to share across every goroutine of a sweep; the count assertions
+// prove no increment is lost to a racy read-modify-write.
+func TestSharedRegistryUnderPool(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := tinyOptions(t)
+	opts.Workers = 16
+	opts.Metrics = reg
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
 	}
-	wg.Wait()
-	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
-	if len(lines) != 8*50 {
-		t.Fatalf("got %d lines, want %d", len(lines), 8*50)
+
+	const n = 16
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Config: opts.Config, Profile: opts.Benchmarks[0], Factory: DVSPolicy(opts.Config)}
 	}
-	for _, line := range lines {
-		var g, i int
-		if _, err := fmt.Sscanf(line, "line g=%d i=%d", &g, &i); err != nil {
-			t.Fatalf("interleaved line %q: %v", line, err)
-		}
+	ms, err := r.RunJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != n {
+		t.Fatalf("got %d measurements, want %d", len(ms), n)
+	}
+
+	// n pool jobs plus the singleflighted baseline run feed the registry.
+	if got := reg.Counter(obs.MetricPoolJobs).Value(); got != n {
+		t.Errorf("%s = %d, want %d", obs.MetricPoolJobs, got, n)
+	}
+	if got := reg.Counter(obs.MetricRuns).Value(); got != n+1 {
+		t.Errorf("%s = %d, want %d", obs.MetricRuns, got, n+1)
+	}
+	if got := reg.Histogram(obs.MetricPoolJobSeconds).Count(); got != n {
+		t.Errorf("%s count = %d, want %d", obs.MetricPoolJobSeconds, got, n)
+	}
+	if got := reg.Counter(obs.MetricThermalSteps).Value(); got <= 0 {
+		t.Errorf("%s = %d, want > 0", obs.MetricThermalSteps, got)
+	}
+	// All workers have exited, so the active-worker gauge must be back to 0.
+	if got := reg.Gauge(obs.MetricPoolActive).Value(); got != 0 {
+		t.Errorf("%s = %v, want 0 after pool drain", obs.MetricPoolActive, got)
 	}
 }

@@ -1,0 +1,398 @@
+// Metrics: a small lock-free counter/gauge/histogram registry aggregated
+// across the experiment engine's worker pool. Registration takes a mutex
+// (it happens a handful of times per process); every update afterwards is
+// a single atomic op, so sixteen concurrent simulations hammering one
+// registry contend only at the cache-line level. MetricsTracer adapts the
+// registry to the Tracer interface so the same event stream that feeds
+// trace sinks also feeds aggregate counters.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float metric (accumulated
+// seconds, joules, ...), updated with a CAS loop.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates x.
+func (c *FloatCounter) Add(x float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores x.
+func (g *Gauge) Set(x float64) { g.bits.Store(math.Float64bits(x)) }
+
+// Add shifts the gauge by x atomically (CAS loop) — for up/down values
+// like active worker counts.
+func (g *Gauge) Add(x float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into exponential buckets. It tracks
+// count, sum, min and max exactly; quantiles are bucket-resolution
+// approximations, which is plenty for job-latency style distributions.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    FloatCounter
+	min    atomic.Uint64 // float bits; CAS-maintained
+	max    atomic.Uint64
+}
+
+// DefaultLatencyBuckets spans 1 ms .. ~17 min in ×2 steps — wide enough
+// for both a 100k-instruction smoke job and a paper-scale simulation.
+func DefaultLatencyBuckets() []float64 {
+	bounds := make([]float64, 20)
+	b := 1e-3
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(x)
+	for {
+		old := h.min.Load()
+		if x >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(x)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if x <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(x)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Mean returns the average observation, or NaN with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return math.NaN()
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile returns the upper bound of the bucket containing quantile q in
+// [0,1] — an approximation with bucket resolution. NaN with no data.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return math.NaN()
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Float64frombits(h.max.Load())
+		}
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Min returns the smallest observation (+Inf with no data).
+func (h *Histogram) Min() float64 { return math.Float64frombits(h.min.Load()) }
+
+// Max returns the largest observation (-Inf with no data).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// Registry is a named collection of metrics. Get-or-create accessors are
+// safe for concurrent use; two callers asking for the same name share the
+// same metric. A name registered as one kind must not be re-requested as
+// another (that is a programming error and panics).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+func lookup[T any](r *Registry, name string, mk func() *T) *T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		t, ok := m.(*T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind (%T)", name, m))
+		}
+		return t
+	}
+	t := mk()
+	r.metrics[name] = t
+	return t
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	return lookup(r, name, func() *Counter { return &Counter{} })
+}
+
+// FloatCounter returns the named float counter, creating it on first use.
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	return lookup(r, name, func() *FloatCounter { return &FloatCounter{} })
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return lookup(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// DefaultLatencyBuckets.
+func (r *Registry) Histogram(name string) *Histogram {
+	return lookup(r, name, func() *Histogram { return newHistogram(DefaultLatencyBuckets()) })
+}
+
+// Sample is one metric's point-in-time reading.
+type Sample struct {
+	Name  string
+	Kind  string  // "counter", "float", "gauge", "histogram"
+	Value float64 // count for counters, value for gauges, count for histograms
+	// Histogram extras (zero otherwise).
+	Sum, Mean, P50, P90, Max float64
+}
+
+// Snapshot returns all metrics sorted by name.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.metrics))
+	for name, m := range r.metrics {
+		s := Sample{Name: name}
+		switch v := m.(type) {
+		case *Counter:
+			s.Kind, s.Value = "counter", float64(v.Value())
+		case *FloatCounter:
+			s.Kind, s.Value = "float", v.Value()
+		case *Gauge:
+			s.Kind, s.Value = "gauge", v.Value()
+		case *Histogram:
+			s.Kind, s.Value = "histogram", float64(v.Count())
+			s.Sum, s.Mean = v.Sum(), v.Mean()
+			s.P50, s.P90 = v.Quantile(0.50), v.Quantile(0.90)
+			s.Max = v.Max()
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteSummary prints the registry as an aligned table.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	snap := r.Snapshot()
+	if _, err := fmt.Fprintf(w, "%-28s %-9s %14s  %s\n", "metric", "kind", "value", "detail"); err != nil {
+		return err
+	}
+	for _, s := range snap {
+		detail := ""
+		if s.Kind == "histogram" && s.Value > 0 {
+			detail = fmt.Sprintf("mean %.3gs p50 %.3gs p90 %.3gs max %.3gs", s.Mean, s.P50, s.P90, s.Max)
+		}
+		if _, err := fmt.Fprintf(w, "%-28s %-9s %14.6g  %s\n", s.Name, s.Kind, s.Value, detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an HTTP handler exposing the registry: a plain-text
+// summary at "/" and "/metrics", a JSON map at "/metrics.json", and the
+// process's expvar variables at "/debug/vars".
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	text := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteSummary(w)
+	}
+	mux.HandleFunc("/", text)
+	mux.HandleFunc("/metrics", text)
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, "{")
+		for i, s := range r.Snapshot() {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, "%q:%g", s.Name, s.Value)
+		}
+		fmt.Fprint(w, "}")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Serve exposes the registry over HTTP on addr (e.g. "localhost:9090", or
+// ":0" for an ephemeral port) and returns the bound address plus a stop
+// function. The server runs until stop is called; serve errors after stop
+// are discarded.
+func Serve(addr string, r *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // always returns ErrServerClosed after stop
+	stop := func() error { return srv.Close() }
+	return ln.Addr().String(), stop, nil
+}
+
+// Metric names recorded by MetricsTracer and the experiment pool. Keeping
+// them as constants makes the summary table and tests typo-proof.
+const (
+	MetricEvents         = "sim.events"              // counter: events emitted across all runs
+	MetricThermalSteps   = "sim.thermal_steps"       // counter: thermal RC steps
+	MetricDVSSwitches    = "sim.dvs_switches"        // counter: DVS transitions started
+	MetricStallSeconds   = "sim.stall_s"             // float: simulated seconds stalled in DVS switches
+	MetricTriggerSeconds = "sim.trigger_residency_s" // float: simulated seconds with true temp above trigger
+	MetricClockStopSecs  = "sim.clockstop_s"         // float: simulated seconds with the clock stopped
+	MetricEmergencySecs  = "sim.emergency_s"         // float: simulated seconds above the emergency threshold
+	MetricCrossings      = "sim.trigger_crossings"   // counter: upward trigger crossings
+	MetricRuns           = "sim.runs"                // counter: simulation runs traced
+	MetricPoolJobs       = "pool.jobs_done"          // counter: pool jobs completed
+	MetricPoolJobSeconds = "pool.job_s"              // histogram: per-job wall-clock latency
+	MetricPoolActive     = "pool.active_workers"     // gauge: workers currently running a job
+)
+
+// MetricsTracer adapts a Registry to the Tracer interface: it folds the
+// event stream of one run into shared aggregate counters. Create one per
+// run (Begin captures the run's trigger threshold); any number of
+// instances may share a Registry concurrently.
+type MetricsTracer struct {
+	trigger   float64
+	emergency float64
+
+	events, steps, dvs, crossings, runs *Counter
+	stall, trig, clock, emerg           *FloatCounter
+}
+
+// NewMetricsTracer returns a tracer feeding reg.
+func NewMetricsTracer(reg *Registry) *MetricsTracer {
+	return &MetricsTracer{
+		events:    reg.Counter(MetricEvents),
+		steps:     reg.Counter(MetricThermalSteps),
+		dvs:       reg.Counter(MetricDVSSwitches),
+		crossings: reg.Counter(MetricCrossings),
+		runs:      reg.Counter(MetricRuns),
+		stall:     reg.FloatCounter(MetricStallSeconds),
+		trig:      reg.FloatCounter(MetricTriggerSeconds),
+		clock:     reg.FloatCounter(MetricClockStopSecs),
+		emerg:     reg.FloatCounter(MetricEmergencySecs),
+	}
+}
+
+// Begin records the run and its thresholds.
+func (m *MetricsTracer) Begin(meta Meta) {
+	m.trigger = meta.Trigger
+	m.emergency = meta.Emergency
+	m.runs.Inc()
+}
+
+// Emit folds one event into the registry.
+func (m *MetricsTracer) Emit(ev *Event) {
+	m.events.Inc()
+	switch ev.Kind {
+	case KindStep:
+		m.steps.Inc()
+		if ev.MaxTemp > m.trigger {
+			m.trig.Add(ev.Dt)
+		}
+		if ev.MaxTemp > m.emergency {
+			m.emerg.Add(ev.Dt)
+		}
+		if ev.Stalled {
+			m.stall.Add(ev.Dt)
+		}
+		if ev.ClockStop {
+			m.clock.Add(ev.Dt)
+		}
+	case KindActuation:
+		if ev.SwitchStarted {
+			m.dvs.Inc()
+		}
+	case KindCrossing:
+		if ev.Threshold == "trigger" && ev.Above {
+			m.crossings.Inc()
+		}
+	}
+}
+
+// End is a no-op; the registry is the durable output.
+func (m *MetricsTracer) End() {}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndFloatCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Counter = %d, want 5", c.Value())
+	}
+	var f FloatCounter
+	f.Add(0.25)
+	f.Add(0.5)
+	if f.Value() != 0.75 {
+		t.Errorf("FloatCounter = %v, want 0.75", f.Value())
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Add(2)
+	g.Add(-5)
+	if g.Value() != 0 {
+		t.Errorf("Gauge = %v, want 0", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := newHistogram(DefaultLatencyBuckets())
+	if !math.IsNaN(h.Mean()) || !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram must report NaN mean and quantiles")
+	}
+	for _, x := range []float64{0.0005, 0.003, 0.003, 0.010, 1.5} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-1.5165) > 1e-12 {
+		t.Errorf("Sum = %v, want 1.5165", h.Sum())
+	}
+	if h.Min() != 0.0005 || h.Max() != 1.5 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	// Median lands in the bucket whose upper bound is 4 ms.
+	if q := h.Quantile(0.5); q != 0.004 {
+		t.Errorf("P50 = %v, want 0.004", q)
+	}
+	// The top observation resolves to its bucket's upper bound (1.024, 2.048].
+	if q := h.Quantile(1.0); q != 2.048 {
+		t.Errorf("P100 = %v, want 2.048", q)
+	}
+}
+
+func TestRegistrySharing(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
+	if got := r.Counter("a").Value(); got != 2 {
+		t.Errorf("shared counter = %d, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a name as a different kind must panic")
+		}
+	}()
+	r.Gauge("a")
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("z.gauge").Set(1)
+	r.Counter("a.counter").Add(3)
+	r.Histogram("m.hist").Observe(0.002)
+	r.FloatCounter("b.float").Add(1.5)
+	snap := r.Snapshot()
+	names := make([]string, len(snap))
+	for i, s := range snap {
+		names[i] = s.Name
+	}
+	want := []string{"a.counter", "b.float", "m.hist", "z.gauge"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("Snapshot order = %v, want %v", names, want)
+	}
+	if snap[0].Kind != "counter" || snap[0].Value != 3 {
+		t.Errorf("counter sample = %+v", snap[0])
+	}
+	if snap[2].Kind != "histogram" || snap[2].Value != 1 || snap[2].Sum != 0.002 {
+		t.Errorf("histogram sample = %+v", snap[2])
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range want {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("summary missing %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers every metric kind from 16 goroutines;
+// under -race it proves the registry needs no external locking, and the
+// exact final values prove no update was lost.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c").Inc()
+				r.FloatCounter("f").Add(0.5)
+				r.Gauge("g").Add(1)
+				r.Gauge("g").Add(-1)
+				r.Histogram("h").Observe(float64(i) * 1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != goroutines*iters {
+		t.Errorf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.FloatCounter("f").Value(); got != goroutines*iters*0.5 {
+		t.Errorf("float counter = %v, want %v", got, goroutines*iters*0.5)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := r.Histogram("h").Count(); got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestMetricsTracerFoldsEvents(t *testing.T) {
+	reg := NewRegistry()
+	m := NewMetricsTracer(reg)
+	m.Begin(Meta{Trigger: 81.8, Emergency: 85.0})
+	events := []Event{
+		{Kind: KindStep, Dt: 1e-6, MaxTemp: 80.0},                             // cool: nothing accumulates
+		{Kind: KindStep, Dt: 1e-6, MaxTemp: 82.0, Stalled: true},              // above trigger + stalled
+		{Kind: KindStep, Dt: 1e-6, MaxTemp: 86.0, ClockStop: true},            // above emergency + clock stopped
+		{Kind: KindActuation, SwitchStarted: true},                            // DVS switch
+		{Kind: KindActuation, SwitchApplied: true},                            // pending apply: not a new switch
+		{Kind: KindCrossing, Threshold: "trigger", Above: true},               // upward crossing
+		{Kind: KindCrossing, Threshold: "trigger", Above: false},              // downward: not counted
+		{Kind: KindCrossing, Threshold: "emergency", Above: true},             // not a trigger crossing
+		{Kind: KindSensor, MaxReading: 82.0, Readings: []float64{82.0, 81.0}}, // counted as event only
+		{Kind: KindDecision, DecGate: 0.5},                                    // counted as event only
+	}
+	for i := range events {
+		m.Emit(&events[i])
+	}
+	m.End()
+
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{MetricRuns, float64(reg.Counter(MetricRuns).Value()), 1},
+		{MetricEvents, float64(reg.Counter(MetricEvents).Value()), 10},
+		{MetricThermalSteps, float64(reg.Counter(MetricThermalSteps).Value()), 3},
+		{MetricDVSSwitches, float64(reg.Counter(MetricDVSSwitches).Value()), 1},
+		{MetricCrossings, float64(reg.Counter(MetricCrossings).Value()), 1},
+		{MetricTriggerSeconds, reg.FloatCounter(MetricTriggerSeconds).Value(), 2e-6},
+		{MetricEmergencySecs, reg.FloatCounter(MetricEmergencySecs).Value(), 1e-6},
+		{MetricStallSeconds, reg.FloatCounter(MetricStallSeconds).Value(), 1e-6},
+		{MetricClockStopSecs, reg.FloatCounter(MetricClockStopSecs).Value(), 1e-6},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-18 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricRuns).Add(7)
+	addr, stop, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, MetricRuns) {
+		t.Errorf("/metrics missing %s:\n%s", MetricRuns, body)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &m); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+	if m[MetricRuns] != 7 {
+		t.Errorf("/metrics.json %s = %v, want 7", MetricRuns, m[MetricRuns])
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Error("/debug/vars missing expvar content")
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	var p ProfileFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p.Register(fs)
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem, "-runtime-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var diag bytes.Buffer
+	stop, err := p.Start(&diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += math.Sqrt(float64(i))
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	if !strings.Contains(diag.String(), "/sched/goroutines:goroutines") {
+		t.Errorf("runtime snapshot missing:\n%s", diag.String())
+	}
+}
+
+func TestWriteRuntimeSnapshotFormat(t *testing.T) {
+	var buf bytes.Buffer
+	WriteRuntimeSnapshot(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("snapshot too short:\n%s", buf.String())
+	}
+	for _, line := range lines {
+		var name string
+		var value float64
+		if _, err := fmt.Sscanf(line, "runtime %s %g", &name, &value); err != nil {
+			t.Errorf("malformed snapshot line %q: %v", line, err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Profiling hooks shared by the CLIs: -cpuprofile/-memprofile flags and a
+// curated runtime/metrics snapshot, so "why is this sweep slow" can be
+// answered with pprof instead of guesswork.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+)
+
+// ProfileFlags carries the standard profiling options. Register them on a
+// FlagSet, then Start after flag parsing; the returned stop function
+// finishes the CPU profile, writes the heap profile, and (if requested)
+// prints a runtime/metrics snapshot.
+type ProfileFlags struct {
+	CPU     string
+	Mem     string
+	Runtime bool
+}
+
+// Register installs -cpuprofile, -memprofile and -runtime-metrics.
+func (p *ProfileFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a pprof heap profile to this file at exit")
+	fs.BoolVar(&p.Runtime, "runtime-metrics", false, "print a runtime/metrics snapshot to stderr at exit")
+}
+
+// Start begins CPU profiling if requested and returns a stop function to
+// be invoked (once) when the program's work is done. Diagnostics are
+// written to w (typically stderr).
+func (p *ProfileFlags) Start(w io.Writer) (func() error, error) {
+	var cpuFile *os.File
+	if p.CPU != "" {
+		f, err := os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if p.Mem != "" {
+			if err := writeHeapProfile(p.Mem); err != nil && first == nil {
+				first = err
+			}
+		}
+		if p.Runtime {
+			WriteRuntimeSnapshot(w)
+		}
+		return first
+	}, nil
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return f.Close()
+}
+
+// snapshotMetrics is the curated runtime/metrics set the CLIs report:
+// enough to spot GC pressure, runaway goroutines, and heap growth without
+// drowning the reader in the full catalogue.
+var snapshotMetrics = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/sync/mutex/wait/total:seconds",
+}
+
+// WriteRuntimeSnapshot prints the curated runtime/metrics sample set, one
+// "runtime <name> <value>" line each. Metrics missing from the running
+// toolchain are skipped silently, so the set can include newer names.
+func WriteRuntimeSnapshot(w io.Writer) {
+	samples := make([]metrics.Sample, len(snapshotMetrics))
+	for i, name := range snapshotMetrics {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(w, "runtime %-40s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(w, "runtime %-40s %g\n", s.Name, s.Value.Float64())
+		}
+	}
+}

@@ -11,17 +11,33 @@ import (
 	"math"
 )
 
-// Mean returns the arithmetic mean. It panics on empty input — callers
-// always aggregate over the fixed benchmark suite.
+// ErrEmpty is the typed error checked aggregations return for empty
+// input; test with errors.Is.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean, or NaN for empty input. It used to
+// panic on empty slices, which could crash a multi-hour suite run at
+// aggregation time; NaN propagates visibly into tables instead. Call
+// sites whose input length is not structurally guaranteed (anything fed
+// from filtering or user-selected subsets rather than the fixed benchmark
+// suite) should prefer MeanChecked and handle ErrEmpty.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: Mean of empty slice")
+		return math.NaN()
 	}
 	var s float64
 	for _, x := range xs {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// MeanChecked is Mean with an explicit empty-input error.
+func MeanChecked(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Mean(xs), nil
 }
 
 // Variance returns the unbiased sample variance (n−1 denominator).

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -21,13 +22,19 @@ func TestMeanVariance(t *testing.T) {
 	}
 }
 
-func TestMeanEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Mean(nil) did not panic")
-		}
-	}()
-	Mean(nil)
+func TestMeanEmpty(t *testing.T) {
+	// Empty input must not crash a long suite run at aggregation time:
+	// Mean degrades to NaN (visible in any table), MeanChecked surfaces
+	// the typed error.
+	if m := Mean(nil); !math.IsNaN(m) {
+		t.Errorf("Mean(nil) = %v, want NaN", m)
+	}
+	if _, err := MeanChecked(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MeanChecked(nil) error = %v, want ErrEmpty", err)
+	}
+	if m, err := MeanChecked([]float64{2, 4}); err != nil || m != 3 {
+		t.Errorf("MeanChecked = %v, %v, want 3, nil", m, err)
+	}
 }
 
 func TestVarianceSingleSample(t *testing.T) {

@@ -38,6 +38,8 @@ func TestSmokeBinaries(t *testing.T) {
 	}{
 		{"dtmsim-one", "dtmsim", []string{"-bench", "gzip", "-policy", "hyb", "-insts", "200000"}},
 		{"dtmsim-suite", "dtmsim", []string{"-bench", "gzip,art", "-policy", "dvs", "-insts", "200000", "-workers", "2"}},
+		{"dtmsim-trace", "dtmsim", []string{"-bench", "gzip", "-policy", "hyb", "-insts", "200000",
+			"-trace-out", filepath.Join(dir, "smoke.jsonl"), "-metrics", "-quiet"}},
 		{"experiments", "experiments", []string{"-insts", "200000", "-bench", "gzip", "-workers", "2", "bench"}},
 		{"hotspot", "hotspot", []string{"-power", "30"}},
 		{"tracegen", "tracegen", []string{"-bench", "gzip", "-n", "1000", "-o", filepath.Join(dir, "gzip.trc")}},
