@@ -15,9 +15,12 @@
 // worker count.
 //
 // Observability: -trace-out writes the run's event stream (JSON Lines, or
-// CSV when the path ends in .csv; single-benchmark runs only), -metrics
-// prints aggregate counters to stderr, -v/-quiet adjust logging, and
-// -cpuprofile/-memprofile/-runtime-metrics capture profiles.
+// CSV when the path ends in .csv; single-benchmark runs only), -out writes
+// machine-readable results JSON for dtmreport, -metrics prints aggregate
+// counters to stderr, -v/-quiet adjust logging, and
+// -cpuprofile/-memprofile/-runtime-metrics capture profiles. Any
+// invocation with an output flag also writes a provenance manifest.json
+// beside its first artifact (tool, argv, config hash, environment).
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"hybriddtm/internal/core"
 	"hybriddtm/internal/dtm"
@@ -35,6 +39,7 @@ import (
 	"hybriddtm/internal/experiments"
 	"hybriddtm/internal/floorplan"
 	"hybriddtm/internal/obs"
+	"hybriddtm/internal/report"
 	"hybriddtm/internal/stats"
 	"hybriddtm/internal/trace"
 )
@@ -58,6 +63,7 @@ func run(ctx context.Context) error {
 	steps := flag.Int("steps", 5, "DVS ladder steps for dvs-pi")
 	workers := flag.Int("workers", 0, "concurrent simulations for multi-benchmark runs (0 = one per CPU)")
 	traceOut := flag.String("trace-out", "", "write the event trace to this file (JSONL; .csv extension switches format; single benchmark only)")
+	out := flag.String("out", "", "write machine-readable results JSON to this file (input for dtmreport)")
 	metrics := flag.Bool("metrics", false, "print aggregate simulation metrics to stderr at exit")
 	verbose := flag.Bool("v", false, "debug logging: one line per completed simulation")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
@@ -92,13 +98,37 @@ func run(ctx context.Context) error {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
+	start := time.Now()
+	var ms []experiments.Measurement
 	if len(profs) == 1 {
-		err = runOne(ctx, cfg, profs[0], factory, *insts, *traceOut, reg)
+		ms, err = runOne(ctx, cfg, profs[0], factory, *insts, *traceOut, reg)
 	} else {
-		err = runSuite(ctx, cfg, profs, factory, *insts, *workers, logger(*verbose, *quiet), reg)
+		ms, err = runSuite(ctx, cfg, profs, factory, *insts, *workers, logger(*verbose, *quiet), reg)
 	}
 	if err != nil {
 		return err
+	}
+	if *out != "" {
+		doc := report.NewResults("dtmsim")
+		doc.AddRuns(ms)
+		if err := doc.WriteFile(*out); err != nil {
+			return err
+		}
+	}
+	// Every invocation that leaves artifacts behind gets a provenance
+	// manifest beside them.
+	if outputs := nonEmpty(*traceOut, *out); len(outputs) > 0 {
+		names := make([]string, len(profs))
+		for i, p := range profs {
+			names[i] = p.Name
+		}
+		m, err := report.BuildManifest("dtmsim", os.Args[1:], start, cfg, names, *workers, outputs)
+		if err != nil {
+			return err
+		}
+		if _, err := report.WriteManifestBeside(m, time.Since(start)); err != nil {
+			return err
+		}
 	}
 	if reg != nil {
 		if err := reg.WriteSummary(os.Stderr); err != nil {
@@ -106,6 +136,17 @@ func run(ctx context.Context) error {
 		}
 	}
 	return stopProf()
+}
+
+// nonEmpty filters out unset flag values.
+func nonEmpty(paths ...string) []string {
+	out := make([]string, 0, len(paths))
+	for _, p := range paths {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // logger builds the stderr slog logger for the chosen verbosity: Info
@@ -247,16 +288,18 @@ func policyFactory(cfg *core.Config, name string, gate float64, steps int) (expe
 }
 
 // runOne prints the detailed single-benchmark summary, optionally tracing
-// the run to a sink and folding its events into a metrics registry.
-func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory experiments.PolicyFactory, insts uint64, traceOut string, reg *obs.Registry) (err error) {
+// the run to a sink and folding its events into a metrics registry. The
+// returned measurement carries the raw result; slowdown is zero because a
+// single run has no baseline to normalize against.
+func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory experiments.PolicyFactory, insts uint64, traceOut string, reg *obs.Registry) (ms []experiments.Measurement, err error) {
 	pol, err := factory.New()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if traceOut != "" {
 		sink, closeSink, cerr := openTraceSink(traceOut)
 		if cerr != nil {
-			return cerr
+			return nil, cerr
 		}
 		// Close even when the run fails: RunContext's deferred End has
 		// already flushed whatever the sink saw, which is exactly what a
@@ -273,11 +316,11 @@ func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory ex
 	}
 	sim, err := core.New(cfg, prof, pol)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res, err := sim.RunContext(ctx, insts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	fmt.Printf("benchmark        %s\n", res.Benchmark)
@@ -297,13 +340,13 @@ func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory ex
 	if res.ClockStopTime > 0 {
 		fmt.Printf("clock stopped    %.1f %%\n", 100*res.ClockStopTime/res.WallTime)
 	}
-	return nil
+	return []experiments.Measurement{{Benchmark: res.Benchmark, Policy: res.Policy, Result: res}}, nil
 }
 
 // runSuite fans the benchmarks out over the experiment engine's worker
 // pool and prints a slowdown table (normalized against each benchmark's
 // no-DTM baseline).
-func runSuite(ctx context.Context, cfg core.Config, profs []trace.Profile, factory experiments.PolicyFactory, insts uint64, workers int, log *slog.Logger, reg *obs.Registry) error {
+func runSuite(ctx context.Context, cfg core.Config, profs []trace.Profile, factory experiments.PolicyFactory, insts uint64, workers int, log *slog.Logger, reg *obs.Registry) ([]experiments.Measurement, error) {
 	r, err := experiments.NewRunner(experiments.Options{
 		Instructions: insts,
 		Benchmarks:   profs,
@@ -313,11 +356,11 @@ func runSuite(ctx context.Context, cfg core.Config, profs []trace.Profile, facto
 		Metrics:      reg,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ms, err := r.SuiteContext(ctx, cfg, factory)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("policy %s over %d benchmarks (%d instructions each, %d workers):\n\n",
 		factory.Name, len(profs), insts, r.Workers())
@@ -332,8 +375,8 @@ func runSuite(ctx context.Context, cfg core.Config, profs []trace.Profile, facto
 	}
 	mean, err := stats.MeanChecked(experiments.Slowdowns(ms))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("%-9s  %8.4f\n", "MEAN", mean)
-	return nil
+	return ms, nil
 }

@@ -18,8 +18,11 @@
 // level; -v adds a Debug line per simulation, -quiet silences both. A
 // metrics summary (runs, thermal steps, DVS switches, trigger residency,
 // job latency) is printed to stderr at exit; -metrics-addr serves the
-// same registry over HTTP while the sweep runs.
-// -cpuprofile/-memprofile/-runtime-metrics capture profiles.
+// same registry over HTTP while the sweep runs (shut down gracefully on
+// exit or Ctrl-C). -cpuprofile/-memprofile/-runtime-metrics capture
+// profiles. -out writes machine-readable figure results for dtmreport,
+// -snapshot-out records a BENCH_<sha>.json performance snapshot, and
+// either flag also writes a provenance manifest.json beside the artifact.
 package main
 
 import (
@@ -29,10 +32,13 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"hybriddtm/internal/experiments"
 	"hybriddtm/internal/obs"
+	"hybriddtm/internal/report"
 	"hybriddtm/internal/trace"
 )
 
@@ -51,7 +57,9 @@ func run(ctx context.Context) error {
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	verbose := flag.Bool("v", false, "debug logging: one line per completed simulation")
 	quiet := flag.Bool("quiet", false, "suppress progress logging and the metrics summary")
-	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9090)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9090, or :0 for an ephemeral port)")
+	out := flag.String("out", "", "write machine-readable figure results JSON to this file (input for dtmreport)")
+	snapshotOut := flag.String("snapshot-out", "", "write a BENCH_<sha>.json perf snapshot into this directory (or to this exact path when it ends in .json)")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -98,7 +106,7 @@ func run(ctx context.Context) error {
 	reg := obs.NewRegistry()
 	opts.Metrics = reg
 	if *metricsAddr != "" {
-		addr, stopServe, err := obs.Serve(*metricsAddr, reg)
+		addr, stopServe, err := obs.Serve(ctx, *metricsAddr, reg)
 		if err != nil {
 			return err
 		}
@@ -110,6 +118,8 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+	doc := report.NewResults("experiments")
 
 	section := func(id string) bool {
 		if !want[id] {
@@ -131,6 +141,7 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		doc.AddFig3a(res)
 		fmt.Println(res)
 	}
 	if section("3a-ideal") {
@@ -138,6 +149,7 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		doc.AddFig3a(res)
 		fmt.Println(res)
 	}
 	if section("3b") {
@@ -152,6 +164,7 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		doc.AddFig4(res)
 		fmt.Println(res)
 	}
 	if section("4b") {
@@ -159,6 +172,7 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		doc.AddFig4(res)
 		fmt.Println(res)
 	}
 	if section("steps") {
@@ -205,6 +219,45 @@ func run(ctx context.Context) error {
 		}
 		for _, res := range results {
 			fmt.Println(res)
+		}
+	}
+	elapsed := time.Since(start)
+	var outputs []string
+	if *out != "" {
+		if err := doc.WriteFile(*out); err != nil {
+			return err
+		}
+		outputs = append(outputs, *out)
+	}
+	if *snapshotOut != "" {
+		snap := obs.CaptureBench(reg, elapsed, r.Workers(), start)
+		path := *snapshotOut
+		if strings.HasSuffix(path, ".json") {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return err
+			}
+		} else {
+			if err := os.MkdirAll(path, 0o755); err != nil {
+				return err
+			}
+			path = filepath.Join(path, obs.BenchFileName(snap.GitSHA))
+		}
+		if err := snap.WriteFile(path); err != nil {
+			return err
+		}
+		outputs = append(outputs, path)
+	}
+	if len(outputs) > 0 {
+		names := make([]string, 0, len(opts.Benchmarks))
+		for _, b := range opts.Benchmarks {
+			names = append(names, b.Name)
+		}
+		m, err := report.BuildManifest("experiments", os.Args[1:], start, opts.Config, names, r.Workers(), outputs)
+		if err != nil {
+			return err
+		}
+		if _, err := report.WriteManifestBeside(m, elapsed); err != nil {
+			return err
 		}
 	}
 	if !*quiet {

@@ -273,6 +273,9 @@ func (r *Runner) measureBaseline(ctx context.Context, prof trace.Profile) (core.
 	if err != nil {
 		return core.Result{}, err
 	}
+	if r.metrics != nil {
+		r.metrics.Counter(obs.MetricInstructions).Add(int64(res.Instructions))
+	}
 	if r.log != nil {
 		r.log.Debug("run", "bench", prof.Name, "policy", "none", "maxT", res.MaxTemp)
 	}
@@ -334,6 +337,7 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Measurement, error) {
 	}
 	if r.metrics != nil {
 		r.metrics.Counter(obs.MetricPoolJobs).Inc()
+		r.metrics.Counter(obs.MetricInstructions).Add(int64(res.Instructions))
 		r.metrics.Histogram(obs.MetricPoolJobSeconds).Observe(time.Since(start).Seconds())
 	}
 	if r.log != nil {

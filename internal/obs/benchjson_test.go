@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func testSnapshot(t *testing.T, instsPerSec float64) BenchSnapshot {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter(MetricInstructions).Add(int64(instsPerSec * 2))
+	reg.Counter(MetricPoolJobs).Add(10)
+	reg.Counter(MetricThermalSteps).Add(1000)
+	reg.Counter(MetricEvents).Add(5000)
+	for _, s := range []float64{0.01, 0.02, 0.02, 0.04, 0.5} {
+		reg.Histogram(MetricPoolJobSeconds).Observe(s)
+	}
+	return CaptureBench(reg, 2*time.Second, 4, time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
+}
+
+// TestCaptureBenchRoundTrip: the snapshot schema survives a disk
+// round-trip and the rates are the registry totals over elapsed time.
+func TestCaptureBenchRoundTrip(t *testing.T) {
+	snap := testSnapshot(t, 1e6)
+	if snap.Workers != 4 || snap.ElapsedS != 2 {
+		t.Errorf("workers/elapsed = %d/%v", snap.Workers, snap.ElapsedS)
+	}
+	m, ok := snap.Metric("sim.insts_per_sec")
+	if !ok || m.Value != 1e6 {
+		t.Errorf("insts_per_sec = %+v, want 1e6", m)
+	}
+	if m, ok := snap.Metric("pool.jobs_per_sec"); !ok || m.Value != 5 {
+		t.Errorf("jobs_per_sec = %+v, want 5", m)
+	}
+	if _, ok := snap.Metric("pool.job_s_p99"); !ok {
+		t.Error("latency percentiles missing despite observations")
+	}
+	if runtime.GOOS == "linux" {
+		if m, ok := snap.Metric("proc.peak_rss_bytes"); !ok || m.Value <= 0 {
+			t.Errorf("peak RSS on linux = %+v, want > 0", m)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), BenchFileName(snap.GitSHA))
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Metrics) != len(snap.Metrics) {
+		t.Fatalf("metric count %d != %d", len(got.Metrics), len(snap.Metrics))
+	}
+	for i := range got.Metrics {
+		if got.Metrics[i] != snap.Metrics[i] {
+			t.Errorf("metric %d: %+v != %+v", i, got.Metrics[i], snap.Metrics[i])
+		}
+	}
+}
+
+// TestCompareBench: direction-aware regression flagging with a threshold,
+// plus the name filter CI's throughput gate uses.
+func TestCompareBench(t *testing.T) {
+	base := testSnapshot(t, 1e6)
+	head := testSnapshot(t, 8e5) // 20% throughput drop
+
+	deltas, regressed := CompareBench(base, head, 0.10, nil)
+	if !regressed {
+		t.Fatalf("20%% throughput drop not flagged at 10%% threshold:\n%s", FormatDeltas(deltas))
+	}
+	found := false
+	for _, d := range deltas {
+		if d.Name == "sim.insts_per_sec" {
+			found = true
+			if !d.Regression {
+				t.Error("insts_per_sec drop not marked as regression")
+			}
+			if d.Change > -0.19 || d.Change < -0.21 {
+				t.Errorf("change = %v, want ≈ -0.20", d.Change)
+			}
+		}
+		if d.Name == "pool.jobs_per_sec" && d.Regression {
+			t.Error("unchanged jobs_per_sec flagged")
+		}
+	}
+	if !found {
+		t.Error("insts_per_sec missing from deltas")
+	}
+
+	// Within threshold: no flag.
+	if _, reg := CompareBench(base, head, 0.25, nil); reg {
+		t.Error("20% drop flagged at 25% threshold")
+	}
+	// Filtered to an unaffected metric: no flag.
+	if ds, reg := CompareBench(base, head, 0.10, []string{"pool.jobs_per_sec"}); reg || len(ds) != 1 {
+		t.Errorf("filtered compare = %d deltas, regressed=%v", len(ds), reg)
+	}
+	// Lower-is-better direction: a latency increase is a regression.
+	lbase := BenchSnapshot{Kind: KindBench, Schema: 1, Metrics: []BenchMetric{{Name: "pool.job_s_p99", Value: 1, Better: BetterLower}}}
+	lhead := BenchSnapshot{Kind: KindBench, Schema: 1, Metrics: []BenchMetric{{Name: "pool.job_s_p99", Value: 1.5, Better: BetterLower}}}
+	if _, reg := CompareBench(lbase, lhead, 0.10, nil); !reg {
+		t.Error("50% latency increase not flagged")
+	}
+	if _, reg := CompareBench(lhead, lbase, 0.10, nil); reg {
+		t.Error("latency improvement flagged as regression")
+	}
+}

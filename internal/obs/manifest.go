@@ -1,0 +1,155 @@
+// Run provenance. A Manifest is the durable record of *what* produced an
+// artifact: the tool and its arguments, a hash of the fully resolved
+// core.Config, the benchmark set, the git revision the binary was built
+// from, and the host environment. Every CLI invocation that writes an
+// output file (-out, -trace-out, -snapshot-out) drops a manifest.json next
+// to it, so two artifacts can always be answered with "were these produced
+// by the same code and configuration?" — the measurement-provenance layer
+// thermal/power benchmark tooling rests on.
+//
+// The start time is injected by the caller, never sampled here: tests and
+// golden fixtures pin it, which is what makes reports built from manifests
+// byte-stable.
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// ManifestSchemaVersion identifies the manifest.json schema. Bump on any
+// breaking change (field removal or renaming; additions do not bump it).
+const ManifestSchemaVersion = 1
+
+// KindManifest is the value of the "kind" discriminator field that
+// identifies a manifest JSON document (see also KindBench in benchjson.go
+// and the report package's results files).
+const KindManifest = "manifest"
+
+// Manifest records the provenance of one tool invocation.
+type Manifest struct {
+	Kind   string `json:"kind"` // always "manifest"
+	Schema int    `json:"schema"`
+
+	Tool string   `json:"tool"`
+	Args []string `json:"args,omitempty"`
+
+	// Start is the invocation's start time, injected by the caller (never
+	// sampled inside this package). WallClockS is the measured elapsed
+	// host time of the run the manifest describes.
+	Start      time.Time `json:"start"`
+	WallClockS float64   `json:"wall_clock_s,omitempty"`
+
+	// ConfigHash is HashJSON of the resolved core.Config the run used
+	// (with the Tracer cleared — tracers are wiring, not configuration).
+	ConfigHash string   `json:"config_hash,omitempty"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Workers    int      `json:"workers,omitempty"`
+
+	// Build and host environment.
+	GitSHA    string `json:"git_sha,omitempty"`
+	GitDirty  bool   `json:"git_dirty,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	// Outputs are the artifact files this manifest describes, relative to
+	// the manifest's own directory where possible.
+	Outputs []string `json:"outputs,omitempty"`
+}
+
+// NewManifest returns a manifest stamped with the build and host
+// environment. start is injected so callers (and tests) control it.
+func NewManifest(tool string, args []string, start time.Time) Manifest {
+	sha, dirty := GitInfo()
+	return Manifest{
+		Kind:      KindManifest,
+		Schema:    ManifestSchemaVersion,
+		Tool:      tool,
+		Args:      args,
+		Start:     start,
+		GitSHA:    sha,
+		GitDirty:  dirty,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Validate checks the discriminator and schema version, so loaders reject
+// foreign or future documents instead of misreading them.
+func (m Manifest) Validate() error {
+	if m.Kind != KindManifest {
+		return fmt.Errorf("obs: manifest kind %q, want %q", m.Kind, KindManifest)
+	}
+	if m.Schema > ManifestSchemaVersion || m.Schema < 1 {
+		return fmt.Errorf("obs: manifest schema %d not supported (have %d)", m.Schema, ManifestSchemaVersion)
+	}
+	return nil
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads and validates a manifest file.
+func LoadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("obs: manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// HashJSON returns a short hex SHA-256 of v's canonical JSON encoding
+// (encoding/json sorts map keys, so the digest is deterministic). It is
+// how config provenance is recorded: equal hashes mean the runs used
+// byte-identical resolved configurations.
+func HashJSON(v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("obs: hash: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:16], nil
+}
+
+// GitInfo returns the VCS revision and dirty bit stamped into the binary
+// by the Go toolchain (go build of a main package inside a git checkout).
+// Both are zero when no VCS info was embedded — test binaries, go run —
+// which manifests record honestly rather than guessing.
+func GitInfo() (sha string, dirty bool) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			sha = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return sha, dirty
+}

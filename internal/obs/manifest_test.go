@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestManifestRoundTrip is the schema contract: a manifest written to disk
+// loads back field-for-field identical.
+func TestManifestRoundTrip(t *testing.T) {
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	m := NewManifest("dtmsim", []string{"-bench", "gzip", "-policy", "hyb"}, start)
+	m.WallClockS = 1.25
+	m.ConfigHash = "deadbeefdeadbeef"
+	m.Benchmarks = []string{"gzip"}
+	m.Workers = 4
+	m.Outputs = []string{"run.jsonl"}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Start.Equal(m.Start) {
+		t.Errorf("start = %v, want %v", got.Start, m.Start)
+	}
+	// Normalize the time representation (JSON round-trips the instant, not
+	// the location) and compare everything else structurally.
+	got.Start, m.Start = time.Time{}, time.Time{}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round-trip mismatch:\ngot  %+v\nwant %+v", got, m)
+	}
+	if got.Kind != KindManifest || got.Schema != ManifestSchemaVersion {
+		t.Errorf("kind/schema = %q/%d", got.Kind, got.Schema)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	m := NewManifest("t", nil, time.Time{})
+	if err := m.Validate(); err != nil {
+		t.Errorf("fresh manifest invalid: %v", err)
+	}
+	m.Kind = "bench"
+	if err := m.Validate(); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	m = NewManifest("t", nil, time.Time{})
+	m.Schema = ManifestSchemaVersion + 1
+	if err := m.Validate(); err == nil {
+		t.Error("future schema accepted")
+	}
+}
+
+// TestHashJSON checks the provenance hash is deterministic and sensitive:
+// identical values hash identically, any field change re-hashes.
+func TestHashJSON(t *testing.T) {
+	type cfg struct {
+		A int
+		B map[string]float64
+	}
+	v := cfg{A: 1, B: map[string]float64{"x": 1, "y": 2}}
+	h1, err := HashJSON(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashJSON(cfg{A: 1, B: map[string]float64{"y": 2, "x": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("equal values hash differently: %s vs %s", h1, h2)
+	}
+	h3, err := HashJSON(cfg{A: 2, B: v.B})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h3 {
+		t.Error("different values share a hash")
+	}
+	if len(h1) != 16 {
+		t.Errorf("hash length %d, want 16", len(h1))
+	}
+}

@@ -8,6 +8,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"io"
@@ -300,17 +301,35 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // Serve exposes the registry over HTTP on addr (e.g. "localhost:9090", or
-// ":0" for an ephemeral port) and returns the bound address plus a stop
-// function. The server runs until stop is called; serve errors after stop
-// are discarded.
-func Serve(addr string, r *Registry) (string, func() error, error) {
+// ":0" for an ephemeral port — the returned address is the actually-bound
+// one, so callers can print a working URL either way). The server shuts
+// down gracefully when ctx is canceled (in-flight requests finish, new
+// connections are refused) or when the returned stop function is called,
+// whichever comes first; stop is idempotent and reports the shutdown
+// error, if any. Serve errors after shutdown are discarded.
+func Serve(ctx context.Context, addr string, r *Registry) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // always returns ErrServerClosed after stop
-	stop := func() error { return srv.Close() }
+	var once sync.Once
+	var stopErr error
+	stop := func() error {
+		once.Do(func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				srv.Close() //nolint:errcheck // Shutdown error is the one reported
+				stopErr = err
+			}
+		})
+		return stopErr
+	}
+	if ctx != nil {
+		context.AfterFunc(ctx, func() { stop() }) //nolint:errcheck // nowhere to report; server is down either way
+	}
 	return ln.Addr().String(), stop, nil
 }
 
@@ -326,6 +345,7 @@ const (
 	MetricEmergencySecs  = "sim.emergency_s"         // float: simulated seconds above the emergency threshold
 	MetricCrossings      = "sim.trigger_crossings"   // counter: upward trigger crossings
 	MetricRuns           = "sim.runs"                // counter: simulation runs traced
+	MetricInstructions   = "sim.instructions"        // counter: instructions committed inside measurement windows
 	MetricPoolJobs       = "pool.jobs_done"          // counter: pool jobs completed
 	MetricPoolJobSeconds = "pool.job_s"              // histogram: per-job wall-clock latency
 	MetricPoolActive     = "pool.active_workers"     // gauge: workers currently running a job

@@ -2,17 +2,20 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterAndFloatCounter(t *testing.T) {
@@ -197,7 +200,7 @@ func TestMetricsTracerFoldsEvents(t *testing.T) {
 func TestServeEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter(MetricRuns).Add(7)
-	addr, stop, err := Serve("127.0.0.1:0", reg)
+	addr, stop, err := Serve(nil, "127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,6 +238,53 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if err := stop(); err != nil {
 		t.Errorf("stop: %v", err)
+	}
+}
+
+// TestServeGracefulShutdown: the server answers while the context lives,
+// refuses connections after cancellation, and stop stays idempotent.
+func TestServeGracefulShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricRuns).Inc()
+	ctx, cancel := context.WithCancel(context.Background())
+	addr, stop, err := Serve(ctx, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		t.Fatalf("Serve returned unusable address %q: %v", addr, err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	resp.Body.Close()
+	if m[MetricRuns] != 1 {
+		t.Errorf("%s = %v, want 1", MetricRuns, m[MetricRuns])
+	}
+
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := http.Get("http://" + addr + "/metrics.json")
+		if err != nil {
+			break // listener is down
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still accepting requests after context cancellation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop after ctx shutdown: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("second stop: %v", err)
 	}
 }
 

@@ -19,6 +19,8 @@
 // that retains events must copy them (Ring does).
 package obs
 
+import "sync"
+
 // Kind discriminates event types.
 type Kind uint8
 
@@ -163,7 +165,14 @@ func (m *multi) End() {
 // lightweight always-on option for post-mortem debugging: run with a Ring
 // attached, and on an unexpected result dump the tail of the event stream
 // without paying for a full sink.
+//
+// Unlike sinks, a Ring IS safe for concurrent Emit: it is the natural
+// "keep the tail of everything" tracer to share across a worker pool (via
+// Combine with per-run tracers), so it takes a mutex per emission. The
+// single-goroutine cost is an uncontended lock, noise next to the slice
+// copies.
 type Ring struct {
+	mu    sync.Mutex
 	meta  Meta
 	buf   []Event
 	next  int
@@ -179,11 +188,18 @@ func NewRing(n int) *Ring {
 	return &Ring{buf: make([]Event, n)}
 }
 
-func (r *Ring) Begin(meta Meta) { r.meta = meta }
-func (r *Ring) End()            {}
+func (r *Ring) Begin(meta Meta) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.meta = meta
+}
+
+func (r *Ring) End() {}
 
 // Emit copies the event (including slices) into the ring.
 func (r *Ring) Emit(ev *Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	slot := &r.buf[r.next]
 	temps, power, readings := slot.Temps, slot.Power, slot.Readings
 	*slot = *ev
@@ -199,15 +215,25 @@ func (r *Ring) Emit(ev *Event) {
 }
 
 // Meta returns the run metadata seen in Begin.
-func (r *Ring) Meta() Meta { return r.meta }
+func (r *Ring) Meta() Meta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.meta
+}
 
 // Total returns how many events were emitted over the run (not just the
 // retained tail).
-func (r *Ring) Total() uint64 { return r.total }
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
 
 // Events returns the retained events, oldest first. The returned slice
 // aliases the ring's storage; it is invalidated by further Emit calls.
 func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.full {
 		return r.buf[:r.next]
 	}
@@ -220,7 +246,7 @@ func (r *Ring) Events() []Event {
 // Drain replays the retained events, oldest first, into another tracer
 // (typically a sink) bracketed by Begin/End.
 func (r *Ring) Drain(t Tracer) {
-	t.Begin(r.meta)
+	t.Begin(r.Meta())
 	events := r.Events()
 	for i := range events {
 		t.Emit(&events[i])

@@ -1,0 +1,43 @@
+// Provenance helpers shared by the CLIs: build the obs.Manifest for one
+// invocation and drop it next to the run's artifacts.
+package report
+
+import (
+	"path/filepath"
+	"time"
+
+	"hybriddtm/internal/core"
+	"hybriddtm/internal/obs"
+)
+
+// BuildManifest stamps run provenance for one CLI invocation: tool and
+// argv, injected start time, the resolved config's content hash, the
+// benchmark set, worker count, and the output artifacts. The caller sets
+// WallClockS when the run finishes.
+func BuildManifest(tool string, args []string, start time.Time, cfg core.Config, benchmarks []string, workers int, outputs []string) (obs.Manifest, error) {
+	// The tracer is runtime wiring, not configuration — and interface
+	// values don't marshal. Hash the numeric config only.
+	cfg.Tracer = nil
+	hash, err := obs.HashJSON(cfg)
+	if err != nil {
+		return obs.Manifest{}, err
+	}
+	m := obs.NewManifest(tool, args, start)
+	m.ConfigHash = hash
+	m.Benchmarks = benchmarks
+	m.Workers = workers
+	m.Outputs = outputs
+	return m, nil
+}
+
+// WriteManifestBeside finalizes the wall clock and writes manifest.json in
+// the directory of the first output artifact. It returns the path written.
+func WriteManifestBeside(m obs.Manifest, elapsed time.Duration) (string, error) {
+	m.WallClockS = elapsed.Seconds()
+	dir := "."
+	if len(m.Outputs) > 0 {
+		dir = filepath.Dir(m.Outputs[0])
+	}
+	path := filepath.Join(dir, "manifest.json")
+	return path, m.WriteFile(path)
+}

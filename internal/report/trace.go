@@ -1,0 +1,188 @@
+// Trace ingestion: dtmreport's reader for the schema-v1 JSONL event
+// stream (see internal/obs/sink.go). The reader aggregates a trace into
+// what the report renders — a thermal/actuation timeline plus DTM
+// residency and switch counts — without retaining the raw events, so a
+// multi-gigabyte trace summarizes in one streaming pass.
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hybriddtm/internal/obs"
+)
+
+// TracePoint is one timeline sample taken from a step event.
+type TracePoint struct {
+	T       float64 // simulated seconds
+	MaxTemp float64 // hottest block °C
+	Gate    float64 // applied fetch-gate fraction
+	Level   int     // applied DVS ladder level
+}
+
+// TraceSummary is the aggregate of one JSONL trace file.
+type TraceSummary struct {
+	File      string // base name of the source file
+	Schema    int
+	Benchmark string
+	Policy    string
+	Blocks    []string
+	Trigger   float64 // °C
+	Emergency float64 // °C
+
+	Events int64 // event records (footer count when present)
+
+	// Timeline, downsampled to at most maxTimelinePoints step samples.
+	Points []TracePoint
+
+	// Residency, in simulated seconds summed over step events.
+	Duration     float64 // total stepped time
+	AboveTrigger float64 // max temp above the trigger threshold
+	Gated        float64 // fetch gate engaged (gate > 0)
+	LowV         float64 // DVS level above nominal (level > 0)
+	ClockStopped float64
+	Stalled      float64 // inside a DVS switch stall
+
+	// Actuation/crossing counts.
+	DVSSwitches      int64 // DVS transitions started
+	TriggerCrossings int64 // upward trigger crossings
+	EmergencyUp      int64 // upward emergency crossings
+}
+
+// maxTimelinePoints bounds the samples kept for SVG rendering; longer
+// traces are strided down.
+const maxTimelinePoints = 2000
+
+// traceRec is the superset of schema-v1 record fields the summary needs.
+type traceRec struct {
+	Ev        string   `json:"ev"`
+	Schema    int      `json:"schema"`
+	Benchmark string   `json:"benchmark"`
+	Policy    string   `json:"policy"`
+	Blocks    []string `json:"blocks"`
+	TriggerC  float64  `json:"trigger_c"`
+	EmergC    float64  `json:"emergency_c"`
+
+	T         float64 `json:"t"`
+	Dt        float64 `json:"dt"`
+	Level     int     `json:"level"`
+	Gate      float64 `json:"gate"`
+	ClockStop bool    `json:"clockstop"`
+	Stalled   bool    `json:"stalled"`
+	MaxT      float64 `json:"max_t"`
+	Switch    bool    `json:"switch"`
+	Threshold string  `json:"threshold"`
+	Above     bool    `json:"above"`
+	Events    int64   `json:"events"`
+}
+
+// ReadTrace summarizes a schema-v1 JSONL trace stream.
+func ReadTrace(r io.Reader, name string) (TraceSummary, error) {
+	sum := TraceSummary{File: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var line int
+	var sawBegin, sawEnd bool
+	var events int64
+	for sc.Scan() {
+		line++
+		var rec traceRec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return sum, fmt.Errorf("report: %s:%d: %w", name, line, err)
+		}
+		switch rec.Ev {
+		case "begin":
+			if rec.Schema > obs.SchemaVersion || rec.Schema < 1 {
+				return sum, fmt.Errorf("report: %s: trace schema %d not supported (have %d)", name, rec.Schema, obs.SchemaVersion)
+			}
+			sum.Schema = rec.Schema
+			sum.Benchmark = rec.Benchmark
+			sum.Policy = rec.Policy
+			sum.Blocks = rec.Blocks
+			sum.Trigger = rec.TriggerC
+			sum.Emergency = rec.EmergC
+			sawBegin = true
+		case "end":
+			sum.Events = rec.Events
+			sawEnd = true
+		case "step":
+			events++
+			sum.Points = append(sum.Points, TracePoint{T: rec.T, MaxTemp: rec.MaxT, Gate: rec.Gate, Level: rec.Level})
+			sum.Duration += rec.Dt
+			if rec.MaxT > sum.Trigger {
+				sum.AboveTrigger += rec.Dt
+			}
+			if rec.Gate > 0 {
+				sum.Gated += rec.Dt
+			}
+			if rec.Level > 0 {
+				sum.LowV += rec.Dt
+			}
+			if rec.ClockStop {
+				sum.ClockStopped += rec.Dt
+			}
+			if rec.Stalled {
+				sum.Stalled += rec.Dt
+			}
+		case "actuation":
+			events++
+			if rec.Switch {
+				sum.DVSSwitches++
+			}
+		case "crossing":
+			events++
+			if rec.Above {
+				switch rec.Threshold {
+				case "trigger":
+					sum.TriggerCrossings++
+				case "emergency":
+					sum.EmergencyUp++
+				}
+			}
+		default:
+			events++ // sensor/decision and forward-compatible kinds
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sum, fmt.Errorf("report: %s: %w", name, err)
+	}
+	if !sawBegin {
+		return sum, fmt.Errorf("report: %s: not a schema-v1 trace (no begin record)", name)
+	}
+	if !sawEnd {
+		// Truncated trace (e.g. a crashed run): still useful, count what
+		// we saw.
+		sum.Events = events
+	}
+	if len(sum.Points) > maxTimelinePoints {
+		stride := (len(sum.Points) + maxTimelinePoints - 1) / maxTimelinePoints
+		kept := sum.Points[:0]
+		for i := 0; i < len(sum.Points); i += stride {
+			kept = append(kept, sum.Points[i])
+		}
+		sum.Points = kept
+	}
+	return sum, nil
+}
+
+// ReadTraceFile summarizes the trace at path.
+func ReadTraceFile(path string) (TraceSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TraceSummary{}, err
+	}
+	defer f.Close()
+	return ReadTrace(f, filepath.Base(path))
+}
+
+// frac returns num/den as a fraction in [0,1], 0 when den is 0.
+func frac(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // ErrEmpty is the typed error checked aggregations return for empty
@@ -38,6 +39,47 @@ func MeanChecked(xs []float64) (float64, error) {
 		return 0, ErrEmpty
 	}
 	return Mean(xs), nil
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs by linear
+// interpolation between closest order statistics (the "R-7" definition,
+// the default of numpy and spreadsheets): rank = p/100·(n−1), value =
+// x[⌊rank⌋] + frac·(x[⌈rank⌉]−x[⌊rank⌋]) over the sorted sample. The input
+// slice is not modified. Empty input returns ErrEmpty; a single sample is
+// every percentile of itself.
+func Percentile(xs []float64, p float64) (float64, error) {
+	out, err := Percentiles(xs, []float64{p})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Percentiles returns the requested percentiles of xs, sorting a copy of
+// the input once. It is the shared primitive behind the report tables and
+// the benchmark-snapshot comparator (p50/p90/p99 summaries).
+func Percentiles(xs []float64, ps []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	for _, p := range ps {
+		if !(p >= 0 && p <= 100) {
+			return nil, fmt.Errorf("stats: percentile %v outside [0,100]", p)
+		}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		rank := p / 100 * float64(len(sorted)-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		if hi >= len(sorted) {
+			hi = len(sorted) - 1
+		}
+		out[i] = sorted[lo] + (rank-float64(lo))*(sorted[hi]-sorted[lo])
+	}
+	return out, nil
 }
 
 // Variance returns the unbiased sample variance (n−1 denominator).

@@ -222,3 +222,54 @@ func TestPairedTTestValidation(t *testing.T) {
 		t.Error("accepted single pair")
 	}
 }
+
+func TestPercentiles(t *testing.T) {
+	// R-7 linear interpolation over {1..5}: rank(p) = p/100·4.
+	xs := []float64{5, 1, 3, 2, 4} // unsorted on purpose; input must not be mutated
+	got, err := Percentiles(xs, []float64{0, 25, 50, 90, 99, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4.6, 4.96, 5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("percentile %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if xs[0] != 5 || xs[4] != 4 {
+		t.Errorf("input slice was mutated: %v", xs)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty input error = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("percentile 101 accepted")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("percentile -1 accepted")
+	}
+	// A single sample is every percentile of itself.
+	for _, p := range []float64{0, 50, 100} {
+		if v, err := Percentile([]float64{7}, p); err != nil || v != 7 {
+			t.Errorf("Percentile([7], %v) = %v, %v", p, v, err)
+		}
+	}
+}
+
+func TestPercentileMatchesSortedIndex(t *testing.T) {
+	// On 101 evenly spaced values the p-th percentile is exactly the p-th
+	// value — interpolation ranks must line up with order statistics.
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, p := range []float64{0, 10, 50, 90, 99, 100} {
+		if v, err := Percentile(xs, p); err != nil || math.Abs(v-p) > 1e-12 {
+			t.Errorf("Percentile(0..100, %v) = %v, %v", p, v, err)
+		}
+	}
+}

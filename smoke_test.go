@@ -41,6 +41,9 @@ func TestSmokeBinaries(t *testing.T) {
 		{"dtmsim-trace", "dtmsim", []string{"-bench", "gzip", "-policy", "hyb", "-insts", "200000",
 			"-trace-out", filepath.Join(dir, "smoke.jsonl"), "-metrics", "-quiet"}},
 		{"experiments", "experiments", []string{"-insts", "200000", "-bench", "gzip", "-workers", "2", "bench"}},
+		{"dtmreport", "dtmreport", []string{"-o", "-",
+			filepath.Join("internal", "report", "testdata", "golden_input"),
+			filepath.Join("internal", "core", "testdata")}},
 		{"hotspot", "hotspot", []string{"-power", "30"}},
 		{"tracegen", "tracegen", []string{"-bench", "gzip", "-n", "1000", "-o", filepath.Join(dir, "gzip.trc")}},
 		{"quickstart", "quickstart", []string{"-insts", "200000", "-quick"}},
@@ -54,7 +57,7 @@ func TestSmokeBinaries(t *testing.T) {
 	for _, tc := range cases {
 		covered[tc.bin] = true
 	}
-	for _, name := range []string{"dtmsim", "experiments", "hotspot", "tracegen",
+	for _, name := range []string{"dtmsim", "experiments", "dtmreport", "hotspot", "tracegen",
 		"quickstart", "crossover", "proactive", "thermalmap", "customfloorplan"} {
 		if !covered[name] {
 			t.Fatalf("binary %s missing from smoke cases", name)
