@@ -1,0 +1,134 @@
+// Command dtmlint is the repository's domain linter: a multichecker over
+// the five dtmlint analyzers (detguard, floatzone, unitcheck, tracegate,
+// errsink — see internal/analysis/... and DESIGN.md "Static analysis").
+//
+// Two modes:
+//
+//	dtmlint ./...                                 # standalone
+//	go vet -vettool=$(which dtmlint) ./...        # unit-checker protocol
+//
+// Standalone mode loads and type-checks the requested packages itself
+// (via `go list -export`) and exits 1 if any finding survives the
+// //dtmlint:allow suppressions. Under `go vet`, cmd/go plans the build,
+// passes one JSON .cfg per package, and caches results; dtmlint follows
+// the x/tools unitchecker conventions (-V=full version handshake, -flags
+// flag enumeration, exit 2 on findings).
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hybriddtm/internal/analysis"
+	"hybriddtm/internal/analysis/detguard"
+	"hybriddtm/internal/analysis/errsink"
+	"hybriddtm/internal/analysis/floatzone"
+	"hybriddtm/internal/analysis/tracegate"
+	"hybriddtm/internal/analysis/unitcheck"
+)
+
+var analyzers = []*analysis.Analyzer{
+	detguard.Analyzer,
+	floatzone.Analyzer,
+	unitcheck.Analyzer,
+	tracegate.Analyzer,
+	errsink.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go handshake: tool identity for the vet result cache. The
+	// version string hashes the binary itself so a rebuilt dtmlint
+	// invalidates stale cached findings.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		fmt.Printf("dtmlint version %s\n", selfHash())
+		return
+	}
+	// cmd/go flag enumeration: dtmlint defines no analyzer flags.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && args[0] == "help" {
+		usage(os.Stdout)
+		return
+	}
+
+	// Unit-checker mode: a single vet.cfg argument.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		n, err := analysis.RunVet(args[0], analyzers, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmlint: %v\n", err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			fmt.Fprintf(os.Stderr, "dtmlint: unknown flag %s\n", a)
+			usage(os.Stderr)
+			os.Exit(1)
+		}
+	}
+
+	// Standalone mode.
+	pkgs, err := analysis.Load(".", args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtmlint: %v\n", err)
+		os.Exit(1)
+	}
+	total := 0
+	for _, cp := range pkgs {
+		findings, err := analysis.Run(cp, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmlint: %v\n", err)
+			os.Exit(1)
+		}
+		analysis.Print(os.Stderr, findings)
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "dtmlint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  dtmlint [packages]                        standalone (default ./...)
+  go vet -vettool=$(which dtmlint) [pkgs]   via the go vet driver
+
+Analyzers:`)
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(w, "  %-10s %s\n", a.Name, doc)
+	}
+	fmt.Fprintln(w, `
+Suppress a finding with a trailing or preceding comment:
+  //dtmlint:allow <analyzer> <reason>`)
+}

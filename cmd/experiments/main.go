@@ -118,7 +118,7 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	start := time.Now()
+	start := time.Now() //dtmlint:allow detguard wall-clock suite duration for the run manifest
 	doc := report.NewResults("experiments")
 
 	section := func(id string) bool {
@@ -221,7 +221,7 @@ func run(ctx context.Context) error {
 			fmt.Println(res)
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //dtmlint:allow detguard wall-clock suite duration for the run manifest
 	var outputs []string
 	if *out != "" {
 		if err := doc.WriteFile(*out); err != nil {

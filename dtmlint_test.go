@@ -1,0 +1,140 @@
+// Process-level contract test for cmd/dtmlint: the repo must lint clean,
+// a planted violation must fail the build with a finding on the right
+// line, and the go vet -vettool integration must honor the unit-checker
+// protocol. This is the executable form of the CI lint gate.
+package hybriddtm
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildDtmlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), exeName("dtmlint"))
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/dtmlint").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDtmlintCLI checks the standalone driver: exit 0 with no output on
+// the real tree, exit 1 with a located finding on a module that plants a
+// detguard violation, and exit 0 again once the violation carries a
+// //dtmlint:allow annotation.
+func TestDtmlintCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds dtmlint and type-checks the module")
+	}
+	bin := buildDtmlint(t)
+
+	t.Run("repo-clean", func(t *testing.T) {
+		cmd := exec.Command(bin, "./...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("dtmlint ./... failed: %v\n%s", err, out)
+		}
+		if len(out) != 0 {
+			t.Errorf("clean run produced output:\n%s", out)
+		}
+	})
+
+	t.Run("planted-violation", func(t *testing.T) {
+		dir := plantModule(t, `package core
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		exit, ok := err.(*exec.ExitError)
+		if !ok || exit.ExitCode() != 1 {
+			t.Fatalf("dtmlint on planted violation: err=%v (want exit 1)\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "detguard") || !strings.Contains(string(out), "clock.go:5") {
+			t.Errorf("finding not located at clock.go:5:\n%s", out)
+		}
+	})
+
+	t.Run("allow-suppresses", func(t *testing.T) {
+		dir := plantModule(t, `package core
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //dtmlint:allow detguard provenance stamp, not simulation state
+}
+`)
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("annotated violation still fails: %v\n%s", err, out)
+		}
+	})
+}
+
+// TestDtmlintVettool drives dtmlint through go vet, which exercises the
+// -V=full handshake, the .cfg protocol, and exit-code conventions.
+func TestDtmlintVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds dtmlint and runs go vet over a module")
+	}
+	bin := buildDtmlint(t)
+
+	t.Run("planted-violation", func(t *testing.T) {
+		dir := plantModule(t, `package core
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("go vet -vettool passed on planted violation:\n%s", out)
+		}
+		if !strings.Contains(string(out), "detguard") {
+			t.Errorf("vet output lacks the detguard finding:\n%s", out)
+		}
+	})
+
+	t.Run("clean-module", func(t *testing.T) {
+		dir := plantModule(t, `package core
+
+func Stamp() int64 { return 42 }
+`)
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go vet -vettool on clean module: %v\n%s", err, out)
+		}
+	})
+}
+
+// plantModule writes a throwaway single-package module whose package is
+// named core — inside detguard's deterministic scope — containing src as
+// clock.go.
+func plantModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":        "module planted\n\ngo 1.21\n",
+		"core/clock.go": src,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}

@@ -1,0 +1,195 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	testdata/src/<pkg>/x.go:    tempK + tempC // want `mixes units`
+//
+// A want comment holds one or more backquoted or double-quoted regular
+// expressions; each must be matched by exactly one diagnostic reported on
+// that line, and every diagnostic must be claimed by a want. Suppression
+// directives (//dtmlint:allow) are honored, so fixtures also encode each
+// analyzer's allowed cases: a flagged line with an allow comment and no
+// want proves the suppression works.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"hybriddtm/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory (tests run with the package directory as working directory).
+func TestData() string {
+	d, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Run loads each fixture package from dir/src/<pkg> and applies the
+// analyzer, reporting mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkgDir := filepath.Join(dir, "src", pkg)
+		cp, err := load(pkg, pkgDir)
+		if err != nil {
+			t.Errorf("%s: %v", pkg, err)
+			continue
+		}
+		findings, err := analysis.Run(cp, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: %v", pkg, err)
+			continue
+		}
+		check(t, cp, findings)
+	}
+}
+
+// load parses and type-checks one fixture package, resolving stdlib
+// imports through `go list -export` (cached process-wide).
+func load(pkg, dir string) (*analysis.CheckedPackage, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return analysis.Check(pkg, dir, files, stdlibExport)
+}
+
+var (
+	exportMu    sync.Mutex
+	exportFiles = make(map[string]string)
+)
+
+// stdlibExport returns export data for a standard-library import path,
+// shelling out to `go list -deps -export` once per new path and caching
+// the transitive closure.
+func stdlibExport(path string) (io.ReadCloser, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	if f, ok := exportFiles[path]; ok {
+		return os.Open(f)
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+	f, ok := exportFiles[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// expectation is one want regexp awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// check matches findings against the fixture's want comments.
+func check(t *testing.T, cp *analysis.CheckedPackage, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range cp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWant(cp, c)...)
+			}
+		}
+	}
+
+	for _, fd := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != fd.Posn.Filename || w.line != fd.Posn.Line {
+				continue
+			}
+			if w.rx.MatchString(fd.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", fd)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// parseWant extracts the expectations of one comment. The comment text
+// after the marker "want" must be a sequence of quoted regexps.
+func parseWant(cp *analysis.CheckedPackage, c *ast.Comment) []*expectation {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	posn := cp.Fset.Position(c.Pos())
+	var out []*expectation
+	for _, q := range wantRE.FindAllString(rest, -1) {
+		var pat string
+		if q[0] == '`' {
+			pat = q[1 : len(q)-1]
+		} else {
+			if err := json.Unmarshal([]byte(q), &pat); err != nil {
+				continue
+			}
+		}
+		rx, err := regexp.Compile(pat)
+		if err != nil {
+			panic(fmt.Sprintf("%s: bad want regexp %q: %v", posn, pat, err))
+		}
+		out = append(out, &expectation{file: posn.Filename, line: posn.Line, rx: rx})
+	}
+	return out
+}

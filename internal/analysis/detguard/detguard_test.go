@@ -1,0 +1,12 @@
+package detguard_test
+
+import (
+	"testing"
+
+	"hybriddtm/internal/analysis/analysistest"
+	"hybriddtm/internal/analysis/detguard"
+)
+
+func TestDetguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detguard.Analyzer, "core", "provenance")
+}

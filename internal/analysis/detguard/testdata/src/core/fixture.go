@@ -1,0 +1,62 @@
+// Fixture for detguard: package base name "core" puts it in the
+// deterministic scope.
+package core
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in deterministic package`
+}
+
+func unseeded() float64 {
+	return rand.Float64() // want `global math/rand source`
+}
+
+func seeded() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+func mapFeedsOutput(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `map iteration order is randomized`
+		out = append(out, v)
+	}
+	return out
+}
+
+func orderFreeReduction(m map[string]float64) float64 {
+	best := 0.0
+	//dtmlint:allow detguard order-independent max reduction
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func spawnUnplumbed(done chan struct{}) {
+	go func() { // want `goroutine without context plumbing`
+		close(done)
+	}()
+}
+
+func spawnPlumbed(ctx context.Context, done chan struct{}) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+		close(done)
+	}(ctx)
+}
+
+func allowedClock() time.Time {
+	return time.Now() //dtmlint:allow detguard provenance timestamp, never reaches a Result
+}

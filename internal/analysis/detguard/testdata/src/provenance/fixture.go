@@ -1,0 +1,18 @@
+// Fixture for detguard: package "provenance" is outside the
+// deterministic scope, so wall-clock reads here are allowed without
+// annotation (manifest code legitimately timestamps runs).
+package provenance
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}
+
+func Order(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

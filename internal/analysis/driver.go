@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+)
+
+// CheckedPackage is one loaded, type-checked package ready for analysis.
+type CheckedPackage struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Finding pairs a diagnostic with the analyzer that produced it and its
+// resolved position.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Posn, f.Message, f.Analyzer)
+}
+
+// Run applies the analyzers to one package and returns the surviving
+// findings: suppressed diagnostics are dropped, and malformed
+// //dtmlint:allow directives are themselves findings (analyzer "allow").
+// Findings are ordered by position, then analyzer.
+func Run(cp *CheckedPackage, analyzers []*Analyzer) ([]Finding, error) {
+	sup := CollectSuppressions(cp.Fset, cp.Files)
+	var out []Finding
+	for _, d := range sup.Malformed {
+		out = append(out, Finding{Analyzer: "allow", Posn: cp.Fset.Position(d.Pos), Message: d.Message})
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      cp.Fset,
+			Files:     cp.Files,
+			Pkg:       cp.Pkg,
+			TypesInfo: cp.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			if sup.Allowed(cp.Fset, a.Name, d.Pos) {
+				return
+			}
+			out = append(out, Finding{Analyzer: a.Name, Posn: cp.Fset.Position(d.Pos), Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", cp.Path, a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Print writes findings one per line in the conventional
+// file:line:col: message (analyzer) form.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+}

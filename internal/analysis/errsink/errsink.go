@@ -1,0 +1,125 @@
+// Package errsink defines the dtmlint analyzer that flags discarded
+// errors on sink, artifact, and manifest writes. A simulation that runs
+// for hours and then silently fails to persist its trace or manifest is
+// the worst failure mode this repo has shipped (the trace-sink exit-code
+// bug fixed in PR 3), so any call into internal/obs or internal/report
+// whose name says it writes or finalizes an artifact — Write*, Close,
+// Flush, Sync — must have its error consumed. Both plain call statements
+// and `_ =` discards are flagged; a deliberate discard needs a
+// //dtmlint:allow errsink annotation stating why losing the artifact is
+// acceptable.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hybriddtm/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "flag unchecked error returns on obs/report sink, artifact, and manifest writes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, call, "return value dropped")
+				}
+			case *ast.DeferStmt:
+				checkDiscard(pass, n.Call, "deferred with error dropped")
+			case *ast.GoStmt:
+				checkDiscard(pass, n.Call, "goroutine result dropped")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkDiscard flags a statement-position sink call whose error result
+// vanishes.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	fn := sinkCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"unchecked error from %s.%s (%s): a run that cannot persist its artifact must fail loudly", fn.Pkg().Name(), fn.Name(), how)
+}
+
+// checkBlankAssign flags `_ = sink.Close()` style discards where the
+// error result lands in the blank identifier.
+func checkBlankAssign(pass *analysis.Pass, a *ast.AssignStmt) {
+	for i, rhs := range a.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := sinkCallee(pass, call)
+		if fn == nil {
+			continue
+		}
+		// Which lhs receives the error? Single-value call: position i.
+		// Multi-value call (len(Rhs)==1): the last lhs.
+		var errLhs ast.Expr
+		if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+			errLhs = a.Lhs[len(a.Lhs)-1]
+		} else if i < len(a.Lhs) {
+			errLhs = a.Lhs[i]
+		}
+		if id, ok := errLhs.(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(call.Pos(),
+				"error from %s.%s assigned to _: a run that cannot persist its artifact must fail loudly", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// sinkCallee resolves the callee and reports it when it is a
+// sink/artifact/manifest write: declared in an obs or report package,
+// named Write*/Close/Flush/Sync, returning error as its last result.
+func sinkCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	switch analysis.PkgBase(fn.Pkg().Path()) {
+	case "obs", "report":
+	default:
+		return nil
+	}
+	name := fn.Name()
+	if !strings.HasPrefix(name, "Write") && name != "Close" && name != "Flush" && name != "Sync" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,47 @@
+// Fixture for errsink: the package is named obs, so its own sink methods
+// are in the checked API set — mirroring internal/obs callers that
+// finalize their sinks.
+package obs
+
+import "errors"
+
+type Sink struct{ closed bool }
+
+func (s *Sink) WriteEvent(v int) error {
+	if s.closed {
+		return errors.New("closed")
+	}
+	return nil
+}
+
+func (s *Sink) Close() error {
+	s.closed = true
+	return nil
+}
+
+// Stat has no error result, so dropping its return is fine.
+func (s *Sink) Stat() int { return 0 }
+
+func checkedUse(s *Sink) error {
+	if err := s.WriteEvent(1); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+func droppedWrite(s *Sink) {
+	s.WriteEvent(1) // want `unchecked error from obs.WriteEvent`
+}
+
+func droppedClose(s *Sink) {
+	defer s.Close() // want `unchecked error from obs.Close .deferred`
+	s.Stat()
+}
+
+func blankDiscard(s *Sink) {
+	_ = s.Close() // want `error from obs.Close assigned to _`
+}
+
+func allowedDiscard(s *Sink) {
+	_ = s.Close() //dtmlint:allow errsink best-effort cleanup after the real error is already reported
+}

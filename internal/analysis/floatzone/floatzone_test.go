@@ -1,0 +1,12 @@
+package floatzone_test
+
+import (
+	"testing"
+
+	"hybriddtm/internal/analysis/analysistest"
+	"hybriddtm/internal/analysis/floatzone"
+)
+
+func TestFloatzone(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatzone.Analyzer, "thermal", "stats")
+}

@@ -1,0 +1,26 @@
+// Fixture for floatzone: the approved epsilon helpers in a package named
+// stats may compare floats directly — they are the vocabulary everything
+// else is required to use. Other functions in the same package get no
+// exemption.
+package stats
+
+import "math"
+
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func ApproxZero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}
+
+func SameFloat(a, b float64) bool {
+	return a == b
+}
+
+func notApproved(a, b float64) bool {
+	return a == b // want `floating-point ==`
+}

@@ -1,0 +1,30 @@
+// Fixture for floatzone: raw float equality is flagged everywhere
+// outside the approved stats helpers.
+package thermal
+
+func converged(prev, next float64) bool {
+	return prev == next // want `floating-point ==`
+}
+
+func notZero(x float64) bool {
+	return x != 0 // want `floating-point !=`
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func constantFold() bool {
+	const a, b = 1.5, 2.5
+	return a == b
+}
+
+func annotated(x float64) bool {
+	return x == 0 //dtmlint:allow floatzone sentinel is assigned exactly, never computed
+}
+
+type temps struct{ max float64 }
+
+func fieldCompare(t temps, limit float64) bool {
+	return t.max == limit // want `floating-point ==`
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowDirective is the comment prefix that suppresses a finding.
+const AllowDirective = "//dtmlint:allow"
+
+// allowSite records one parsed //dtmlint:allow comment.
+type allowSite struct {
+	analyzer string
+	line     int // line the comment sits on
+}
+
+// Suppressions indexes the //dtmlint:allow directives of one package. A
+// directive suppresses matching findings on its own line and on the line
+// directly below it (so it can trail the flagged statement or sit alone
+// above it).
+type Suppressions struct {
+	byFile map[*token.File][]allowSite
+	// Malformed holds directives without an analyzer name or a reason;
+	// drivers report these as findings so every suppression in the tree
+	// stays documented.
+	Malformed []Diagnostic
+}
+
+// CollectSuppressions parses every //dtmlint:allow directive in files.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byFile: make(map[*token.File][]allowSite)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, AllowDirective)
+				if !ok {
+					continue
+				}
+				tf := fset.File(c.Pos())
+				if tf == nil {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed dtmlint:allow: want \"//dtmlint:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				s.byFile[tf] = append(s.byFile[tf], allowSite{
+					analyzer: fields[0],
+					line:     fset.Position(c.Pos()).Line,
+				})
+			}
+		}
+	}
+	return s
+}
+
+// Allowed reports whether a diagnostic from the named analyzer at pos is
+// suppressed by a directive on the same line or the line directly above.
+// The analyzer name "all" suppresses every analyzer.
+func (s *Suppressions) Allowed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	tf := fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	line := fset.Position(pos).Line
+	for _, a := range s.byFile[tf] {
+		if a.analyzer != analyzer && a.analyzer != "all" {
+			continue
+		}
+		if a.line == line || a.line == line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+// Fixture for tracegate: package base name "core" is the hot-path scope.
+package core
+
+type Meta struct{ Benchmark string }
+
+type Event struct{ Time float64 }
+
+// Tracer mirrors obs.Tracer: the analyzer matches any interface named
+// Tracer, so the fixture needs no import.
+type Tracer interface {
+	Begin(meta Meta)
+	Emit(ev *Event)
+	End()
+}
+
+type config struct {
+	Tracer Tracer
+}
+
+type sim struct {
+	cfg config
+}
+
+func (s *sim) hoistedAndGuarded() {
+	tr := s.cfg.Tracer
+	if tr != nil {
+		tr.Begin(Meta{})
+		defer tr.End()
+		tr.Emit(&Event{})
+	}
+}
+
+func (s *sim) guardedWithConjunct(measuring bool) {
+	tr := s.cfg.Tracer
+	if measuring && tr != nil {
+		tr.Emit(&Event{})
+	}
+}
+
+func (s *sim) unguarded() {
+	tr := s.cfg.Tracer
+	tr.Emit(&Event{}) // want `not dominated by .if tr != nil.`
+}
+
+func (s *sim) guardedWrongBranch() {
+	tr := s.cfg.Tracer
+	if tr != nil {
+		_ = tr
+	} else {
+		tr.End() // want `not dominated`
+	}
+}
+
+func (s *sim) notHoisted() {
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(&Event{}) // want `hoist the tracer into a local`
+	}
+}
+
+func (s *sim) allowedColdPath() {
+	tr := s.cfg.Tracer
+	tr.End() //dtmlint:allow tracegate cold error-abort path, not per-step
+}

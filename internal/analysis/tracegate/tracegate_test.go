@@ -1,0 +1,12 @@
+package tracegate_test
+
+import (
+	"testing"
+
+	"hybriddtm/internal/analysis/analysistest"
+	"hybriddtm/internal/analysis/tracegate"
+)
+
+func TestTracegate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), tracegate.Analyzer, "core")
+}

@@ -1,0 +1,62 @@
+// Fixture for unitcheck: unit suffixes and unit: annotations on
+// floating-point quantities.
+package physics
+
+// Trigger is the DTM response threshold.
+// unit:C
+var Trigger float64 = 81.8
+
+func mixedTemps(tempK, tempC float64) float64 {
+	return tempK + tempC // want `mixes Kelvin and Celsius`
+}
+
+func mixedPower(watts, joules float64) float64 {
+	return watts - joules // want `mixes units: W operand - J operand`
+}
+
+func comparedAnnotated(tempK float64) bool {
+	return tempK > Trigger // want `mixes Kelvin and Celsius`
+}
+
+func sameUnit(aW, bW float64) float64 {
+	return aW + bW
+}
+
+func offsetConversion(tempK float64) float64 {
+	// Constants are unit-free, so the explicit conversion idiom is clean.
+	tempC := tempK - 273.15
+	return tempC
+}
+
+func energyAccounting(powerW, dtSec float64) float64 {
+	energyJ := powerW * dtSec
+	return energyJ
+}
+
+func badEnergy(powerW, energyJ float64) {
+	powerW = energyJ // want `assigns J expression to W-unit name powerW`
+	_ = powerW
+}
+
+func goodRate(energyJ, dtSec float64) float64 {
+	powerW := energyJ / dtSec
+	return powerW
+}
+
+func unknownPropagates(powerW, x float64) float64 {
+	return powerW + x // x has no unit: no finding
+}
+
+func intsHaveNoUnits() int {
+	spW := 4 // node index, not watts: integers never carry units
+	tempC := 10
+	return spW + tempC
+}
+
+func snakeCase(temp_k, temp_c float64) float64 {
+	return temp_k - temp_c // want `mixes Kelvin and Celsius`
+}
+
+func allowedMix(tempK, tempC float64) float64 {
+	return tempK + tempC //dtmlint:allow unitcheck fixture proves suppression works
+}

@@ -1,0 +1,12 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"hybriddtm/internal/analysis/analysistest"
+	"hybriddtm/internal/analysis/unitcheck"
+)
+
+func TestUnitcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), unitcheck.Analyzer, "physics")
+}

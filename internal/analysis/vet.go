@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetConfig is the JSON configuration cmd/go hands a -vettool for each
+// package (the x/tools "unitchecker" protocol). Field names and meaning
+// match golang.org/x/tools/go/analysis/unitchecker.Config; only the
+// fields dtmlint consumes are listed, unknown fields are ignored by the
+// decoder.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ModulePath   string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet executes one unit-checker invocation: parse the vet.cfg at
+// cfgPath, analyze the package it plans, print findings to w, and return
+// the number of findings. cmd/go treats a nonzero tool exit as a vet
+// failure, so the caller exits 2 when n > 0 (matching unitchecker).
+//
+// Facts: dtmlint's analyzers are all intra-package, so the .vetx output
+// cmd/go expects for dependency propagation is written as an empty file.
+// Dependency packages arrive with VetxOnly=true and are not re-analyzed.
+func RunVet(cfgPath string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parse %s: %v", cfgPath, err)
+	}
+	// Always satisfy the facts side of the protocol, even for packages we
+	// skip: cmd/go records the .vetx file for downstream packages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly || !inModule(cfg.ImportPath, cfg.ModulePath) {
+		return 0, nil
+	}
+
+	cp, err := Check(cfg.ImportPath, cfg.Dir, cfg.GoFiles, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	findings, err := Run(cp, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	Print(w, findings)
+	return len(findings), nil
+}
+
+// inModule reports whether importPath (possibly a test variant like
+// "pkg.test" or "pkg [pkg.test]") belongs to the module being vetted.
+// Packages outside the module — the standard library, in this
+// dependency-free repo — are skipped: dtmlint checks this codebase's
+// invariants, not the stdlib's.
+func inModule(importPath, modulePath string) bool {
+	if modulePath == "" {
+		// Older cfg without ModulePath: analyze everything non-standard
+		// rather than silently checking nothing.
+		return true
+	}
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	return importPath == modulePath || strings.HasPrefix(importPath, modulePath+"/")
+}

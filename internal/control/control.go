@@ -11,6 +11,8 @@ package control
 import (
 	"fmt"
 	"math"
+
+	"hybriddtm/internal/stats"
 )
 
 // PI is a proportional-integral controller with output clamping and
@@ -45,7 +47,7 @@ func (c *PI) Update(err, dt float64) float64 {
 		out = c.OutMin
 	}
 	// Anti-windup: only integrate when not pushing further into the clamp.
-	if raw == out || (raw > c.OutMax && err < 0) || (raw < c.OutMin && err > 0) {
+	if stats.SameFloat(raw, out) || (raw > c.OutMax && err < 0) || (raw < c.OutMin && err > 0) {
 		c.integral += err * dt
 	}
 	return out

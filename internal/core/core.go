@@ -24,6 +24,7 @@ import (
 	"hybriddtm/internal/obs"
 	"hybriddtm/internal/power"
 	"hybriddtm/internal/sensor"
+	"hybriddtm/internal/stats"
 	"hybriddtm/internal/trace"
 )
 
@@ -569,7 +570,7 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 			}
 			switched := false
 			fromLevel := level
-			if want != level && pendingLevel < 0 && stallRemaining == 0 {
+			if want != level && pendingLevel < 0 && stats.SameFloat(stallRemaining, 0) {
 				res.DVSSwitches++
 				switched = true
 				if s.cfg.DVSStall {
@@ -585,7 +586,7 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 					pendingAt = wall + s.cfg.DVSSwitchTime
 				}
 			}
-			if tr != nil && (switched || gates.Fetch != prevGate || clockStop != prevClockStop) {
+			if tr != nil && (switched || !stats.SameFloat(gates.Fetch, prevGate) || clockStop != prevClockStop) {
 				prevGate, prevClockStop = gates.Fetch, clockStop
 				tr.Emit(&obs.Event{Kind: obs.KindActuation, Time: wall, Cycle: s.core.Cycle(), Step: stepIdx,
 					Measuring: measuring, GateFrac: gates.Fetch, ClockStop: clockStop,

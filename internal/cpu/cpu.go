@@ -22,6 +22,7 @@ import (
 
 	"hybriddtm/internal/bpred"
 	"hybriddtm/internal/cache"
+	"hybriddtm/internal/stats"
 	"hybriddtm/internal/trace"
 )
 
@@ -259,7 +260,7 @@ type Gates struct {
 
 func (g Gates) validate() error {
 	for _, v := range []float64{g.Fetch, g.Int, g.FP, g.Mem} {
-		if v != 0 && (v < 0 || v >= 1) {
+		if !stats.SameFloat(v, 0) && (v < 0 || v >= 1) {
 			return fmt.Errorf("cpu: gate fraction %v outside [0,1)", v)
 		}
 	}

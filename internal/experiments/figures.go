@@ -85,7 +85,7 @@ func (f Fig3aResult) BestDuty() float64 {
 		if row.Violations {
 			continue
 		}
-		if best == 0 || row.MeanSlowdown < bestSlow {
+		if stats.SameFloat(best, 0) || row.MeanSlowdown < bestSlow {
 			best, bestSlow = row.DutyCycle, row.MeanSlowdown
 		}
 	}

@@ -28,6 +28,7 @@ type StepSizeResult struct {
 // MaxSpread returns the largest pairwise difference in mean slowdown.
 func (s StepSizeResult) MaxSpread() float64 {
 	lo, hi := math.Inf(1), math.Inf(-1)
+	//dtmlint:allow detguard min/max reduction is iteration-order independent
 	for _, v := range s.MeanSlowdown {
 		lo = math.Min(lo, v)
 		hi = math.Max(hi, v)
@@ -123,6 +124,7 @@ type VoltageFloorResult struct {
 // Floor returns the largest violation-free fraction (the paper finds 85%).
 func (v VoltageFloorResult) Floor() float64 {
 	best := 0.0
+	//dtmlint:allow detguard max reduction is iteration-order independent
 	for frac, ok := range v.ViolationFree {
 		if ok && frac > best {
 			best = frac
@@ -326,7 +328,7 @@ func CrossoverInvariance(ctx context.Context, r *Runner) (CrossoverInvarianceRes
 	out := CrossoverInvarianceResult{BestDutyPerVMin: make(map[float64]float64)}
 	perVMin := len(CrossoverDuties) * nb
 	for vi, vmin := range CrossoverVMins {
-		if d := bestDuty(vi * perVMin); d != 0 {
+		if d := bestDuty(vi * perVMin); !stats.SameFloat(d, 0) {
 			out.BestDutyPerVMin[vmin] = d
 		}
 	}

@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"hybriddtm/internal/stats"
 )
 
 // BenchSchemaVersion identifies the BENCH_*.json schema.
@@ -204,7 +206,7 @@ func CompareBench(base, head BenchSnapshot, threshold float64, only []string) (d
 			continue
 		}
 		d := BenchDelta{Name: hm.Name, Unit: hm.Unit, Base: bm.Value, Head: hm.Value}
-		if bm.Value != 0 {
+		if !stats.SameFloat(bm.Value, 0) {
 			d.Change = (hm.Value - bm.Value) / bm.Value
 		}
 		switch hm.Better {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"hybriddtm/internal/stats"
 )
 
 // LU holds an LU factorization with partial pivoting of a dense square
@@ -44,7 +46,7 @@ func Factor(a [][]float64) (*LU, error) {
 				p, maxv = i, v
 			}
 		}
-		if maxv == 0 || math.IsNaN(maxv) {
+		if stats.SameFloat(maxv, 0) || math.IsNaN(maxv) {
 			return nil, fmt.Errorf("rc: singular matrix at pivot %d", k)
 		}
 		if p != k {
@@ -56,7 +58,7 @@ func Factor(a [][]float64) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu[i][k] / pivVal
 			lu[i][k] = m
-			if m == 0 {
+			if stats.SameFloat(m, 0) {
 				continue
 			}
 			row, krow := lu[i], lu[k]

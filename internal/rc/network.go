@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"hybriddtm/internal/stats"
 )
 
 // Network is a thermal RC network under construction or in use. Build it
@@ -181,7 +183,7 @@ func (nw *Network) connected() bool {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for w := 0; w < n; w++ {
-			if w != v && nw.g[v][w] != 0 {
+			if w != v && !stats.SameFloat(nw.g[v][w], 0) {
 				push(w)
 			}
 		}

@@ -9,6 +9,8 @@ import (
 	"html"
 	"strings"
 	"time"
+
+	"hybriddtm/internal/stats"
 )
 
 // seriesColors for the timeline charts.
@@ -213,7 +215,7 @@ func (r *Report) comparisonSection() (section, bool) {
 			t := table{Head: []string{fmt.Sprintf("policy (%s)", mode), "mean slowdown", "overhead cut vs DVS", "p (vs DVS)", "violations"}}
 			for _, p := range tbl.Policies {
 				cut, pval := "-", "-"
-				if p.OverheadReduction != 0 || p.PValue != 0 {
+				if !stats.SameFloat(p.OverheadReduction, 0) || !stats.SameFloat(p.PValue, 0) {
 					cut = fmtPct(p.OverheadReduction)
 					pval = fmt.Sprintf("%.4g", p.PValue)
 					if p.Significant99 {

@@ -27,6 +27,7 @@ import (
 
 	"hybriddtm/internal/experiments"
 	"hybriddtm/internal/obs"
+	"hybriddtm/internal/stats"
 )
 
 // ResultsSchemaVersion identifies the results document schema.
@@ -224,7 +225,7 @@ func (e Envelope) Evaluate(docs []Results) []Check {
 				want = e.BestDutyStall
 			}
 			add(fmt.Sprintf("fig3a %s crossover", mode(sweep.Stall)),
-				sweep.BestDuty == want,
+				stats.SameFloat(sweep.BestDuty, want),
 				fmt.Sprintf("best duty %g, want %g", sweep.BestDuty, want))
 		}
 		for _, tbl := range doc.Fig4 {

@@ -10,6 +10,8 @@ import (
 	"html"
 	"math"
 	"strings"
+
+	"hybriddtm/internal/stats"
 )
 
 // series is one polyline: y values sampled at the shared x positions.
@@ -69,10 +71,10 @@ func (c chart) bounds() (x0, x1, y0, y1 float64) {
 	if math.IsInf(y0, 1) {
 		y0, y1 = 0, 1
 	}
-	if x1 == x0 {
+	if stats.SameFloat(x1, x0) {
 		x1 = x0 + 1
 	}
-	if y1 == y0 {
+	if stats.SameFloat(y1, y0) {
 		y1 = y0 + 1
 	}
 	return x0, x1, y0, y1
@@ -162,7 +164,7 @@ func (c chart) SVG() string {
 func fmtTick(v float64) string {
 	a := math.Abs(v)
 	switch {
-	case a != 0 && (a < 0.01 || a >= 1e6):
+	case !stats.SameFloat(a, 0) && (a < 0.01 || a >= 1e6):
 		return fmt.Sprintf("%.2e", v)
 	case a < 10:
 		return fmt.Sprintf("%.3g", v)

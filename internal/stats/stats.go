@@ -256,10 +256,10 @@ func PairedTTest(a, b []float64) (PairedTTestResult, error) {
 	md := Mean(d)
 	sd := StdDev(d)
 	n := float64(len(d))
-	if sd == 0 {
+	if SameFloat(sd, 0) {
 		// Identical differences: either no effect (md==0) or certain effect.
 		p := 1.0
-		if md != 0 {
+		if !SameFloat(md, 0) {
 			p = 0
 		}
 		return PairedTTestResult{T: math.Inf(sign(md)), DF: n - 1, P: p, MeanDiff: md}, nil
@@ -280,4 +280,29 @@ func sign(x float64) int {
 // confidence level (e.g. 0.99 for the paper's 99% statements).
 func (r PairedTTestResult) SignificantAt(confidence float64) bool {
 	return r.P < 1-confidence
+}
+
+// Float comparison helpers. These are the only places the dtmlint
+// floatzone analyzer permits `==`/`!=` on floating-point values: call
+// sites choose between a tolerance (ApproxEqual, ApproxZero) and a
+// deliberate exact comparison (SameFloat) instead of writing a raw
+// equality whose intent the reader has to guess.
+
+// ApproxEqual reports whether a and b are within tol of each other.
+// tol must be non-negative; NaN operands compare unequal.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// ApproxZero reports whether x is within tol of zero.
+func ApproxZero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}
+
+// SameFloat reports whether a and b are exactly equal. Use it where
+// exact equality is the intended semantics — zero-value sentinels,
+// change detection against a stored previous value, sparsity skips —
+// so the exactness is visibly deliberate rather than an accident.
+func SameFloat(a, b float64) bool {
+	return a == b
 }

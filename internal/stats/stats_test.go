@@ -273,3 +273,35 @@ func TestPercentileMatchesSortedIndex(t *testing.T) {
 		}
 	}
 }
+
+func TestFloatComparisonHelpers(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0, 0, true},
+		{1.0, 1.0 + 1e-12, 1e-9, true},
+		{1.0, 1.1, 1e-9, false},
+		{-2, 2, 5, true},
+		{nan, nan, 1, false}, // NaN is never approximately anything
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+	if !ApproxZero(1e-15, 1e-12) || ApproxZero(1e-3, 1e-12) || ApproxZero(nan, 1) {
+		t.Error("ApproxZero tolerance behavior wrong")
+	}
+	// SameFloat is exact IEEE equality: ±0 agree, NaN never equals itself.
+	if !SameFloat(0, math.Copysign(0, -1)) {
+		t.Error("SameFloat(0, -0) = false")
+	}
+	if SameFloat(nan, nan) {
+		t.Error("SameFloat(NaN, NaN) = true")
+	}
+	if SameFloat(1, math.Nextafter(1, 2)) {
+		t.Error("SameFloat ignored a 1-ulp difference")
+	}
+}
