@@ -103,7 +103,10 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	case "math/rand", "math/rand/v2":
 		// Package-level functions draw from the process-global, randomly
 		// seeded source; methods on an explicitly constructed *Rand are fine.
-		if fn.Signature().Recv() == nil && !seededConstructors[name] {
+		// (fn.Type() assertion rather than fn.Signature(), which is go1.23+;
+		// the module pins go 1.22.)
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() == nil && !seededConstructors[name] {
 			pass.Reportf(call.Pos(),
 				"global math/rand source (%s.%s) in deterministic package: construct a seeded rand.New(rand.NewSource(seed)) or use the trace generator's xorshift64*", pkg, name)
 		}

@@ -37,23 +37,20 @@ func run(pass *analysis.Pass) (any, error) {
 		if analysis.IsTestFile(pass.Fset, f.Pos()) {
 			continue
 		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+		// Inspect the whole file — package-level var initializers compare
+		// floats too — skipping only the approved helpers' own bodies.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok &&
+				inStats && approvedHelpers[fd.Name.Name] && fd.Recv == nil {
+				return false
 			}
-			if inStats && approvedHelpers[fd.Name.Name] && fd.Recv == nil {
-				continue
-			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				b, ok := n.(*ast.BinaryExpr)
-				if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
-					return true
-				}
-				check(pass, b)
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
 				return true
-			})
-		}
+			}
+			check(pass, b)
+			return true
+		})
 	}
 	return nil, nil
 }

@@ -28,3 +28,11 @@ type temps struct{ max float64 }
 func fieldCompare(t temps, limit float64) bool {
 	return t.max == limit // want `floating-point ==`
 }
+
+// Package-level initializers are in scope too: the analyzer walks whole
+// files, not just function bodies.
+var ambient float64
+
+var ambientUnset = ambient == 0 // want `floating-point ==`
+
+var ambientAllowed = ambient == 0 //dtmlint:allow floatzone zero is the explicit unset sentinel

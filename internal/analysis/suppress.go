@@ -41,6 +41,16 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 				if tf == nil {
 					continue
 				}
+				// Require a word boundary after the directive so a typo
+				// like //dtmlint:allowall is reported, not parsed as
+				// analyzer "all" with the rest as reason.
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed dtmlint:allow: want \"//dtmlint:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
 				fields := strings.Fields(text)
 				if len(fields) < 2 {
 					s.Malformed = append(s.Malformed, Diagnostic{
