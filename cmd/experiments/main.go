@@ -37,6 +37,8 @@ import (
 	"time"
 
 	"hybriddtm/internal/experiments"
+	"hybriddtm/internal/floorplan"
+	"hybriddtm/internal/hotspot"
 	"hybriddtm/internal/obs"
 	"hybriddtm/internal/report"
 	"hybriddtm/internal/trace"
@@ -231,6 +233,11 @@ func run(ctx context.Context) error {
 	}
 	if *snapshotOut != "" {
 		snap := obs.CaptureBench(reg, elapsed, r.Workers(), start)
+		cellsPerSec, err := measureThermalCellsPerSec()
+		if err != nil {
+			return err
+		}
+		snap.Add("thermal.cells_per_sec", "cells/s", cellsPerSec, obs.BetterHigher)
 		path := *snapshotOut
 		if strings.HasSuffix(path, ".json") {
 			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -267,4 +274,38 @@ func run(ctx context.Context) error {
 		}
 	}
 	return stopProf()
+}
+
+// measureThermalCellsPerSec times the grid thermal micro-workload that the
+// perf-snapshot job gates alongside sim.insts_per_sec: repeated 16×16 EV6
+// grid steady-state solves, the same workload as BenchmarkGridThermal. The
+// first solve (excluded) factors the conductance matrix; the timed
+// iterations measure the cached sparse back-substitution path the grid
+// studies actually run.
+func measureThermalCellsPerSec() (float64, error) {
+	fp := floorplan.EV6()
+	g, err := hotspot.NewGridModel(fp, hotspot.DefaultPackage(), 16, 16)
+	if err != nil {
+		return 0, err
+	}
+	p := make([]float64, fp.NumBlocks())
+	for j := range p {
+		p[j] = 30 * fp.Block(j).Rect.Area() / fp.BlockArea()
+	}
+	dst := make([]float64, g.NumCells())
+	if err := g.SteadyStateInto(dst, p); err != nil { // warm the factorization
+		return 0, err
+	}
+	const iters = 2000
+	begin := time.Now() //dtmlint:allow detguard wall-clock timing of the perf micro-workload
+	for i := 0; i < iters; i++ {
+		if err := g.SteadyStateInto(dst, p); err != nil {
+			return 0, err
+		}
+	}
+	secs := time.Since(begin).Seconds() //dtmlint:allow detguard wall-clock timing of the perf micro-workload
+	if secs <= 0 {
+		return 0, nil
+	}
+	return float64(iters*g.NumCells()) / secs, nil
 }

@@ -81,11 +81,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		next, err := tm.SteadyState(p)
-		if err != nil {
+		if err := tm.SteadyStateInto(temps0, p); err != nil {
 			log.Fatal(err)
 		}
-		copy(temps0, next)
 	}
 	if err := tm.Init(p); err != nil {
 		log.Fatal(err)

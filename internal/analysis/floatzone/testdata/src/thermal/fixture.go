@@ -36,3 +36,17 @@ var ambient float64
 var ambientUnset = ambient == 0 // want `floating-point ==`
 
 var ambientAllowed = ambient == 0 //dtmlint:allow floatzone zero is the explicit unset sentinel
+
+// CSR-shaped kernels compare elements of flat value arrays; indexing does
+// not launder the float comparison.
+func csrHasExplicitZero(val []float64, k int) bool {
+	return val[k] == 0 // want `floating-point ==`
+}
+
+func csrDiagMatches(val, diag []float64, k, i int) bool {
+	return val[k] == diag[i] // want `floating-point ==`
+}
+
+func csrSkipZeroMultiplier(low []float64, li int) bool {
+	return low[li] == 0 //dtmlint:allow floatzone multiplier is stored exactly; zero means structural skip
+}

@@ -60,3 +60,17 @@ func snakeCase(temp_k, temp_c float64) float64 {
 func allowedMix(tempK, tempC float64) float64 {
 	return tempK + tempC //dtmlint:allow unitcheck fixture proves suppression works
 }
+
+// CSR-shaped kernels keep quantities in flat value slices; an indexed
+// element inherits the slice's suffix unit.
+func sparseRowMix(powersW, energiesJ []float64, lo int) float64 {
+	return powersW[lo] - energiesJ[lo] // want `mixes units: W operand - J operand`
+}
+
+func sparseTemps(tempsK []float64, tempC float64, i int) float64 {
+	return tempsK[i] + tempC // want `mixes Kelvin and Celsius`
+}
+
+func sparseSameUnit(valsW []float64, extraW float64, i int) float64 {
+	return valsW[i] + extraW
+}

@@ -257,6 +257,19 @@ func (c *checker) unitOf(e ast.Expr) string {
 		if e.Op == token.ADD || e.Op == token.SUB {
 			return c.unitOf(e.X)
 		}
+	case *ast.IndexExpr:
+		// An element of a unit-suffixed slice carries the slice's unit:
+		// powersW[i] is watts. This is what keeps the flat value arrays of
+		// CSR-style kernels (rowPtr/colIdx/val layouts) inside the unit
+		// discipline — the container is named once, every access inherits.
+		// (unitOfName would reject the container for not being a float
+		// itself; the isFloat guard above already vetted the element.)
+		switch x := ast.Unparen(e.X).(type) {
+		case *ast.Ident:
+			return c.unitForObject(c.pass.TypesInfo.Uses[x], x.Name)
+		case *ast.SelectorExpr:
+			return c.unitForObject(c.pass.TypesInfo.Uses[x.Sel], x.Sel.Name)
+		}
 	case *ast.CallExpr:
 		// Method/function names count as names: elapsed.Seconds(),
 		// dvfs.NominalHz().

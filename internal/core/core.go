@@ -315,11 +315,9 @@ func (s *Simulator) initSteadyState(ctx context.Context) error {
 			if err != nil {
 				return 0, err
 			}
-			next, err := s.tm.SteadyState(p)
-			if err != nil {
+			if err := s.tm.SteadyStateInto(temps, p); err != nil {
 				return 0, err
 			}
-			copy(temps, next)
 		}
 		maxR := temps[0] + s.bank.Offset(0)
 		for i := 1; i < n; i++ {

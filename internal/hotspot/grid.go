@@ -25,8 +25,9 @@ type GridModel struct {
 	// overlap[b] lists (cell, fraction-of-block-power) pairs for block b.
 	overlap [][]cellShare
 
-	theta []float64
-	pFull []float64
+	theta   []float64
+	pFull   []float64
+	ssTheta []float64 // scratch: steady-state solve over all nodes
 }
 
 type cellShare struct {
@@ -195,6 +196,7 @@ func NewGridModel(fp *floorplan.Floorplan, cfg PackageConfig, rows, cols int) (*
 		overlap: overlap,
 		theta:   make([]float64, nCells+numExtra),
 		pFull:   make([]float64, nCells+numExtra),
+		ssTheta: make([]float64, nCells+numExtra),
 	}, nil
 }
 
@@ -249,18 +251,31 @@ func (g *GridModel) spreadPower(blockPower []float64) error {
 // SteadyState solves the grid steady state for a per-block power vector
 // and returns absolute per-cell temperatures (row-major).
 func (g *GridModel) SteadyState(blockPower []float64) ([]float64, error) {
-	if err := g.spreadPower(blockPower); err != nil {
-		return nil, err
-	}
-	th, err := g.nw.SteadyState(g.pFull)
-	if err != nil {
-		return nil, err
-	}
 	out := make([]float64, g.NumCells())
-	for i := range out {
-		out[i] = th[i] + g.cfg.Ambient
+	if err := g.SteadyStateInto(out, blockPower); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SteadyStateInto is SteadyState writing into dst, which must have length
+// NumCells. The underlying conductance factorization is computed once and
+// cached, so repeated calls — the grid sweep workloads in cmd/experiments —
+// cost one sparse back-substitution each and allocate nothing.
+func (g *GridModel) SteadyStateInto(dst, blockPower []float64) error {
+	if len(dst) != g.NumCells() {
+		return fmt.Errorf("hotspot: dst length %d, want %d cells", len(dst), g.NumCells())
+	}
+	if err := g.spreadPower(blockPower); err != nil {
+		return err
+	}
+	if err := g.nw.SteadyStateInto(g.ssTheta, g.pFull); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = g.ssTheta[i] + g.cfg.Ambient
+	}
+	return nil
 }
 
 // Init sets the model to the steady state for the power vector.
@@ -268,12 +283,7 @@ func (g *GridModel) Init(blockPower []float64) error {
 	if err := g.spreadPower(blockPower); err != nil {
 		return err
 	}
-	th, err := g.nw.SteadyState(g.pFull)
-	if err != nil {
-		return err
-	}
-	copy(g.theta, th)
-	return nil
+	return g.nw.SteadyStateInto(g.theta, g.pFull)
 }
 
 // Step advances the transient by dt seconds under the per-block power.
@@ -300,18 +310,30 @@ func (g *GridModel) CellTemps(dst []float64) []float64 {
 // BlockAverage reduces per-cell temperatures to per-block averages
 // (weighted by overlap), comparable with the block model's output.
 func (g *GridModel) BlockAverage(cellTemps []float64) ([]float64, error) {
-	if len(cellTemps) != g.NumCells() {
-		return nil, fmt.Errorf("hotspot: %d cell temps for %d cells", len(cellTemps), g.NumCells())
-	}
 	out := make([]float64, g.fp.NumBlocks())
+	if err := g.BlockAverageInto(out, cellTemps); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BlockAverageInto is BlockAverage writing into dst, which must have length
+// NumBlocks. Allocation-free; dst must not alias cellTemps.
+func (g *GridModel) BlockAverageInto(dst, cellTemps []float64) error {
+	if len(cellTemps) != g.NumCells() {
+		return fmt.Errorf("hotspot: %d cell temps for %d cells", len(cellTemps), g.NumCells())
+	}
+	if len(dst) != g.fp.NumBlocks() {
+		return fmt.Errorf("hotspot: dst length %d, want %d blocks", len(dst), g.fp.NumBlocks())
+	}
 	for b, shares := range g.overlap {
 		var s float64
 		for _, sh := range shares {
 			s += cellTemps[sh.cell] * sh.frac
 		}
-		out[b] = s
+		dst[b] = s
 	}
-	return out, nil
+	return nil
 }
 
 // HottestCell returns the location and temperature of the hottest cell.

@@ -227,3 +227,112 @@ func TestGridBadInputs(t *testing.T) {
 		t.Error("Step accepted short power vector")
 	}
 }
+
+// TestGridIntoVariantsMatch pins the Into variants to their allocating
+// counterparts bit for bit, and checks their length validation.
+func TestGridIntoVariantsMatch(t *testing.T) {
+	g := newGrid(t, 12, 12)
+	fp := floorplan.EV6()
+	p := make([]float64, fp.NumBlocks())
+	for i := range p {
+		p[i] = 40 * fp.Block(i).Rect.Area() / fp.BlockArea()
+	}
+	want, err := g.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, g.NumCells())
+	if err := g.SteadyStateInto(dst, p); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("cell %d: SteadyStateInto %v != SteadyState %v", i, dst[i], want[i])
+		}
+	}
+	wantAvg, err := g.BlockAverage(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := make([]float64, fp.NumBlocks())
+	if err := g.BlockAverageInto(avg, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantAvg {
+		if math.Float64bits(avg[i]) != math.Float64bits(wantAvg[i]) {
+			t.Fatalf("block %d: BlockAverageInto %v != BlockAverage %v", i, avg[i], wantAvg[i])
+		}
+	}
+	if err := g.SteadyStateInto(make([]float64, 3), p); err == nil {
+		t.Error("SteadyStateInto accepted short dst")
+	}
+	if err := g.BlockAverageInto(make([]float64, 3), dst); err == nil {
+		t.Error("BlockAverageInto accepted short dst")
+	}
+}
+
+// TestGridSteadyStateIntoAllocationFree: after the first solve factors the
+// conductance matrix, the grid steady-state path must stay off the heap —
+// that, plus the sparse solve itself, is what makes per-step grid sweeps
+// cheap (see BenchmarkGridThermal).
+func TestGridSteadyStateIntoAllocationFree(t *testing.T) {
+	g := newGrid(t, 16, 16)
+	fp := floorplan.EV6()
+	p := make([]float64, fp.NumBlocks())
+	for i := range p {
+		p[i] = 30 * fp.Block(i).Rect.Area() / fp.BlockArea()
+	}
+	dst := make([]float64, g.NumCells())
+	avg := make([]float64, fp.NumBlocks())
+	if err := g.SteadyStateInto(dst, p); err != nil { // warm the factorization
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := g.SteadyStateInto(dst, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.BlockAverageInto(avg, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("grid steady-state pipeline allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestModelSteadyStateIntoMatch does the same for the block model.
+func TestModelSteadyStateIntoMatch(t *testing.T) {
+	fp := floorplan.EV6()
+	m, err := NewModel(fp, DefaultPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, fp.NumBlocks())
+	for i := range p {
+		p[i] = 35 * fp.Block(i).Rect.Area() / fp.BlockArea()
+	}
+	want, err := m.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, fp.NumBlocks())
+	if err := m.SteadyStateInto(dst, p); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("block %d: SteadyStateInto %v != SteadyState %v", i, dst[i], want[i])
+		}
+	}
+	if err := m.SteadyStateInto(make([]float64, 2), p); err == nil {
+		t.Error("SteadyStateInto accepted short dst")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := m.SteadyStateInto(dst, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Model.SteadyStateInto allocates %.1f times per call, want 0", allocs)
+	}
+}

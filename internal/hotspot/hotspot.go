@@ -118,6 +118,7 @@ type Model struct {
 	nBlocks int
 	theta   []float64 // rise over ambient, all nodes
 	pFull   []float64 // scratch: power over all nodes
+	ssTheta []float64 // scratch: steady-state solve over all nodes
 	time    float64   // simulated seconds since Init
 }
 
@@ -278,6 +279,7 @@ func NewModel(fp *floorplan.Floorplan, cfg PackageConfig) (*Model, error) {
 		nBlocks: nB,
 		theta:   make([]float64, nB+numExtra),
 		pFull:   make([]float64, nB+numExtra),
+		ssTheta: make([]float64, nB+numExtra),
 	}
 	return m, nil
 }
@@ -318,11 +320,9 @@ func (m *Model) Init(blockPower []float64) error {
 	if err := m.fillPower(blockPower); err != nil {
 		return err
 	}
-	th, err := m.nw.SteadyState(m.pFull)
-	if err != nil {
+	if err := m.nw.SteadyStateInto(m.theta, m.pFull); err != nil {
 		return err
 	}
-	copy(m.theta, th)
 	m.time = 0
 	return nil
 }
@@ -378,18 +378,31 @@ func (m *Model) StepRK4(blockPower []float64, dt float64) error {
 // SteadyState returns the absolute steady-state block temperatures for a
 // power vector without touching the model's own state.
 func (m *Model) SteadyState(blockPower []float64) ([]float64, error) {
-	if err := m.fillPower(blockPower); err != nil {
-		return nil, err
-	}
-	th, err := m.nw.SteadyState(m.pFull)
-	if err != nil {
-		return nil, err
-	}
 	out := make([]float64, m.nBlocks)
-	for i := range out {
-		out[i] = th[i] + m.cfg.Ambient
+	if err := m.SteadyStateInto(out, blockPower); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SteadyStateInto is SteadyState writing into dst, which must have length
+// NumBlocks. After the network's first steady-state factorization the call
+// is allocation-free, so iterative power–temperature fixed points can run
+// it every iteration without garbage.
+func (m *Model) SteadyStateInto(dst, blockPower []float64) error {
+	if len(dst) != m.nBlocks {
+		return fmt.Errorf("hotspot: dst length %d, want %d", len(dst), m.nBlocks)
+	}
+	if err := m.fillPower(blockPower); err != nil {
+		return err
+	}
+	if err := m.nw.SteadyStateInto(m.ssTheta, m.pFull); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = m.ssTheta[i] + m.cfg.Ambient
+	}
+	return nil
 }
 
 // BlockTemps writes the absolute block temperatures (°C) into dst and

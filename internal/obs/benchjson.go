@@ -117,6 +117,22 @@ func CaptureBench(reg *Registry, elapsed time.Duration, workers int, start time.
 	return snap
 }
 
+// Add inserts a metric keeping Metrics in sorted name order, so callers
+// appending run-specific measurements (e.g. cmd/experiments' thermal
+// micro-workload) preserve the stable-encoding property CaptureBench
+// establishes. An existing metric with the same name is overwritten.
+func (s *BenchSnapshot) Add(name, unit string, v float64, better string) {
+	m := BenchMetric{Name: name, Unit: unit, Value: v, Better: better}
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		s.Metrics[i] = m
+		return
+	}
+	s.Metrics = append(s.Metrics, BenchMetric{})
+	copy(s.Metrics[i+1:], s.Metrics[i:])
+	s.Metrics[i] = m
+}
+
 // Metric returns the named metric's value, with ok=false when absent.
 func (s BenchSnapshot) Metric(name string) (BenchMetric, bool) {
 	for _, m := range s.Metrics {

@@ -3,6 +3,7 @@ package obs
 import (
 	"path/filepath"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 )
@@ -106,5 +107,32 @@ func TestCompareBench(t *testing.T) {
 	}
 	if _, reg := CompareBench(lhead, lbase, 0.10, nil); reg {
 		t.Error("latency improvement flagged as regression")
+	}
+}
+
+func TestBenchSnapshotAdd(t *testing.T) {
+	var s BenchSnapshot
+	s.Add("m.b", "x/s", 2, BetterHigher)
+	s.Add("m.d", "x/s", 4, BetterHigher)
+	s.Add("m.a", "x/s", 1, BetterHigher)
+	s.Add("m.c", "x/s", 3, BetterLower)
+	var names []string
+	for _, m := range s.Metrics {
+		names = append(names, m.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Add left metrics unsorted: %v", names)
+	}
+	if len(s.Metrics) != 4 {
+		t.Fatalf("%d metrics, want 4", len(s.Metrics))
+	}
+	// Same-name Add overwrites in place.
+	s.Add("m.c", "y/s", 30, BetterHigher)
+	if len(s.Metrics) != 4 {
+		t.Fatalf("overwrite grew metrics to %d", len(s.Metrics))
+	}
+	m, ok := s.Metric("m.c")
+	if !ok || m.Value != 30 || m.Unit != "y/s" || m.Better != BetterHigher {
+		t.Errorf("overwrite kept stale metric: %+v", m)
 	}
 }

@@ -305,3 +305,27 @@ func TestDstReuse(t *testing.T) {
 		t.Error("Compute reallocated despite sufficient dst")
 	}
 }
+
+// TestComputeAllocationFree pins the hot-path contract: with a sized dst,
+// Compute must not allocate — it runs every thermal step of the coupled
+// loop (see core's TestCoupledStepAllocationFree for the end-to-end check).
+func TestComputeAllocationFree(t *testing.T) {
+	m := newModel(t)
+	tech := dvfs.Default130nm()
+	n := m.NumBlocks()
+	act := make([]float64, n)
+	temps := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range act {
+		act[i] = 0.4
+		temps[i] = 80
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := m.Compute(dst, act, 1, tech.VNominal, tech.FNominal, temps); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Compute allocates %.1f times per call, want 0", allocs)
+	}
+}

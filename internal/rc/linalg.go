@@ -13,10 +13,11 @@ import (
 // Thermal stepping with implicit integrators re-solves against the same
 // matrix every step, so factoring once matters.
 type LU struct {
-	lu   [][]float64 // combined L (unit lower) and U factors
-	piv  []int       // row permutation
-	n    int
-	sign int
+	lu      [][]float64 // combined L (unit lower) and U factors
+	piv     []int       // row permutation
+	n       int
+	sign    int
+	scratch []float64 // solve workspace; makes SolveInto allocation-free
 }
 
 // Factor computes the LU factorization of a (which is copied, not modified).
@@ -37,7 +38,7 @@ func Factor(a [][]float64) (*LU, error) {
 	for i := range piv {
 		piv[i] = i
 	}
-	f := &LU{lu: lu, piv: piv, n: n, sign: 1}
+	f := &LU{lu: lu, piv: piv, n: n, sign: 1, scratch: make([]float64, n)}
 	for k := 0; k < n; k++ {
 		// Partial pivot: largest magnitude in column k at or below row k.
 		p, maxv := k, math.Abs(lu[k][k])
@@ -80,12 +81,12 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 	return x, nil
 }
 
-// SolveInto solves A x = b writing the result into x. x and b must both have
-// length n; x and b may alias.
+// SolveInto solves A x = b writing the result into x, allocation-free.
+// x and b must both have length n; x and b may alias.
 func (f *LU) SolveInto(x, b []float64) {
 	n := f.n
 	// Apply permutation.
-	tmp := make([]float64, n)
+	tmp := f.scratch
 	for i := 0; i < n; i++ {
 		tmp[i] = b[f.piv[i]]
 	}

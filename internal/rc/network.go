@@ -12,6 +12,14 @@
 // (off-diagonal entries are −1/R between node pairs; the diagonal collects
 // the node's total conductance including its path to ambient) and P is the
 // power injected at each node in watts.
+//
+// G is structurally sparse — HotSpot-class models couple each node to a
+// handful of neighbours — so assembly records the resistances as triplets
+// and Finalize lowers them into a flat CSR matrix. All hot-path kernels run
+// over the nonzeros: RK4 derivatives are CSR matrix–vector products, and
+// backward Euler / steady state solve through a cached profile Cholesky
+// factorization (see cholesky.go). The dense LU path survives as a fallback
+// for non-SPD input and for the sparse-vs-dense equivalence tests.
 package rc
 
 import (
@@ -22,22 +30,61 @@ import (
 	"hybriddtm/internal/stats"
 )
 
+// solver abstracts the two factorization backends (profile Cholesky and
+// dense LU) behind the one call the steppers need.
+type solver interface {
+	SolveInto(x, b []float64)
+}
+
+// SolverMode selects the factorization backend for backward Euler and
+// steady state.
+type SolverMode int
+
+const (
+	// SolverAuto (the default) picks the profile Cholesky when the matrix
+	// envelope is sparse enough to pay for it — at most a quarter of the
+	// strictly-lower triangle — and the dense LU otherwise. Grid-style
+	// banded models clear the bar easily (the 16×16 EV6 grid envelope is
+	// ~12% of the triangle); small block/package models with all-to-center
+	// coupling (~39%) stay dense, which also keeps them on the exact
+	// arithmetic (including partial pivoting) that produced the golden
+	// trajectories.
+	SolverAuto SolverMode = iota
+	// SolverDense forces the dense LU with partial pivoting.
+	SolverDense
+	// SolverCholesky forces the profile Cholesky (with a dense fallback if
+	// the matrix turns out not to be SPD).
+	SolverCholesky
+)
+
 // Network is a thermal RC network under construction or in use. Build it
 // with NewNetwork / AddResistance / AddToAmbient, then call Finalize before
-// stepping or solving.
+// stepping or solving. A Network owns scratch state and factorization
+// caches: one instance must not be stepped concurrently.
 type Network struct {
 	names []string
-	cap   []float64   // thermal capacitance per node, J/K
-	g     [][]float64 // conductance matrix, W/K
-	gAmb  []float64   // conductance to ambient per node, W/K
+	cap   []float64 // thermal capacitance per node, J/K
+	gAmb  []float64 // conductance to ambient per node, W/K
+
+	// Assembly state: the diagonal accumulates in call order (bit-compatible
+	// with the old dense in-place assembly); off-diagonals are recorded as
+	// triplets and merged into CSR by Finalize.
+	diag []float64 // total conductance per node, W/K
+	off  []cooEntry
+
+	g *CSR // conductance matrix, W/K; built by Finalize
 
 	finalized bool
+	mode      SolverMode
 
 	// Integrator state, allocated lazily.
-	beCache map[float64]*LU // backward-Euler factorizations keyed by dt
-	k1, k2  []float64       // RK4 scratch
+	sym     *symbolic         // shared profile structure for all factors
+	beCache map[uint64]solver // backward-Euler factors keyed by Float64bits(dt)
+	ss      solver            // steady-state factor of G
+	k1, k2  []float64         // RK4 scratch
 	k3, k4  []float64
 	tmp     []float64
+	shift   []float64 // C/dt diagonal shift scratch, W/K
 }
 
 // NewNetwork creates a network with the given node names and capacitances.
@@ -56,14 +103,10 @@ func NewNetwork(names []string, capacitance []float64) (*Network, error) {
 			return nil, fmt.Errorf("rc: node %q capacitance %v not positive finite", names[i], c)
 		}
 	}
-	g := make([][]float64, n)
-	for i := range g {
-		g[i] = make([]float64, n)
-	}
 	return &Network{
 		names: append([]string(nil), names...),
 		cap:   append([]float64(nil), capacitance...),
-		g:     g,
+		diag:  make([]float64, n),
 		gAmb:  make([]float64, n),
 	}, nil
 }
@@ -96,10 +139,9 @@ func (nw *Network) AddResistance(i, j int, r float64) error {
 		return fmt.Errorf("rc: resistance %v between %d and %d not positive finite", r, i, j)
 	}
 	c := 1 / r
-	nw.g[i][j] -= c
-	nw.g[j][i] -= c
-	nw.g[i][i] += c
-	nw.g[j][j] += c
+	nw.off = append(nw.off, cooEntry{i: i, j: j, v: -c}, cooEntry{i: j, j: i, v: -c})
+	nw.diag[i] += c
+	nw.diag[j] += c
 	return nil
 }
 
@@ -116,7 +158,7 @@ func (nw *Network) AddToAmbient(i int, r float64) error {
 	}
 	c := 1 / r
 	nw.gAmb[i] += c
-	nw.g[i][i] += c
+	nw.diag[i] += c
 	return nil
 }
 
@@ -127,10 +169,11 @@ func (nw *Network) checkNode(i int) error {
 	return nil
 }
 
-// Finalize checks that the network is well posed: at least one path to
-// ambient must exist (otherwise there is no steady state) and the graph must
-// be connected through the conductance matrix. After Finalize the topology
-// is frozen.
+// Finalize checks that the network is well posed — at least one path to
+// ambient must exist (otherwise there is no steady state) and the graph
+// must be connected through the conductance matrix — and lowers the
+// assembled triplets into the CSR conductance matrix the kernels run over.
+// After Finalize the topology is frozen.
 func (nw *Network) Finalize() error {
 	if nw.finalized {
 		return nil
@@ -145,17 +188,21 @@ func (nw *Network) Finalize() error {
 	if !hasAmbient {
 		return errors.New("rc: no path to ambient; steady state undefined")
 	}
+	nw.g = fromTriplets(len(nw.names), nw.off, nw.diag)
 	if !nw.connected() {
+		nw.g = nil
 		return errors.New("rc: network graph is disconnected")
 	}
 	nw.finalized = true
-	nw.beCache = make(map[float64]*LU)
+	nw.off = nil // assembly triplets are folded into the CSR now
+	nw.beCache = make(map[uint64]solver)
 	n := len(nw.names)
 	nw.k1 = make([]float64, n)
 	nw.k2 = make([]float64, n)
 	nw.k3 = make([]float64, n)
 	nw.k4 = make([]float64, n)
 	nw.tmp = make([]float64, n)
+	nw.shift = make([]float64, n)
 	return nil
 }
 
@@ -182,8 +229,8 @@ func (nw *Network) connected() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for w := 0; w < n; w++ {
-			if w != v && !stats.SameFloat(nw.g[v][w], 0) {
+		for k := nw.g.rowPtr[v]; k < nw.g.rowPtr[v+1]; k++ {
+			if w := nw.g.colIdx[k]; w != v && !stats.SameFloat(nw.g.val[k], 0) {
 				push(w)
 			}
 		}
@@ -198,29 +245,132 @@ func (nw *Network) connected() bool {
 
 // Conductance returns G[i][j] (W/K): negative of the direct conductance for
 // i≠j, the total node conductance on the diagonal. Exposed for tests.
-func (nw *Network) Conductance(i, j int) float64 { return nw.g[i][j] }
+func (nw *Network) Conductance(i, j int) float64 {
+	if nw.g != nil {
+		return nw.g.At(i, j)
+	}
+	if i == j {
+		return nw.diag[i]
+	}
+	var s float64
+	for _, e := range nw.off {
+		if e.i == i && e.j == j {
+			s += e.v
+		}
+	}
+	return s
+}
 
 // AmbientConductance returns node i's conductance to ambient (W/K).
 func (nw *Network) AmbientConductance(i int) float64 { return nw.gAmb[i] }
 
+// G returns the finalized CSR conductance matrix (nil before Finalize).
+// Read-only use intended.
+func (nw *Network) G() *CSR { return nw.g }
+
+// SetSolverMode selects the factorization backend (see SolverMode).
+// Existing factorization caches are dropped on a change, so switching
+// mid-run is safe but re-factors on the next solve.
+func (nw *Network) SetSolverMode(m SolverMode) {
+	if nw.mode == m {
+		return
+	}
+	nw.mode = m
+	nw.ss = nil
+	if nw.beCache != nil {
+		nw.beCache = make(map[uint64]solver)
+	}
+}
+
+// ensureSymbolic builds the shared profile structure on first use.
+func (nw *Network) ensureSymbolic() *symbolic {
+	if nw.sym == nil {
+		nw.sym = newSymbolic(nw.g)
+	}
+	return nw.sym
+}
+
+// useCholesky resolves the solver mode against the matrix structure.
+func (nw *Network) useCholesky() bool {
+	switch nw.mode {
+	case SolverDense:
+		return false
+	case SolverCholesky:
+		return true
+	}
+	// Auto: the envelope must be sparse enough that profile elimination
+	// clearly beats the dense triangle. envelopeSize is O(n) off the CSR.
+	return 4*envelopeSize(nw.g) <= nw.g.n*(nw.g.n-1)/2
+}
+
+// factor builds a solver for G + diag(shift) (shift nil for G itself):
+// profile Cholesky when the mode (or the auto heuristic) selects it, dense
+// LU with partial pivoting otherwise — and as the fallback when Cholesky
+// rejects the matrix as not SPD, which a physical network never is; the
+// fallback keeps pathological hand-built matrices solvable.
+func (nw *Network) factor(shift []float64) (solver, error) {
+	if nw.useCholesky() {
+		c := newCholesky(nw.ensureSymbolic())
+		err := c.factor(nw.g, shift)
+		if err == nil {
+			return c, nil
+		}
+		var nspd *NotSPDError
+		if !errors.As(err, &nspd) {
+			return nil, err
+		}
+		// Fall through to dense LU with partial pivoting.
+	}
+	a := nw.g.Dense()
+	if shift != nil {
+		for i := range a {
+			a[i][i] += shift[i]
+		}
+	}
+	return Factor(a)
+}
+
 // SteadyState solves G θ = P for the steady-state temperature rise above
 // ambient given the power vector p (W per node).
 func (nw *Network) SteadyState(p []float64) ([]float64, error) {
+	out := make([]float64, len(nw.names))
+	if err := nw.SteadyStateInto(out, p); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SteadyStateInto is SteadyState writing into dst, which must have length
+// NumNodes. The factorization of G is computed once and cached, so repeated
+// calls are allocation-free back-substitutions. dst and p may alias.
+func (nw *Network) SteadyStateInto(dst, p []float64) error {
 	if !nw.finalized {
-		return nil, errors.New("rc: SteadyState before Finalize")
+		return errors.New("rc: SteadyState before Finalize")
 	}
 	if len(p) != len(nw.names) {
-		return nil, fmt.Errorf("rc: power vector length %d, want %d", len(p), len(nw.names))
+		return fmt.Errorf("rc: power vector length %d, want %d", len(p), len(nw.names))
 	}
-	return SolveLinear(nw.g, p)
+	if len(dst) != len(nw.names) {
+		return fmt.Errorf("rc: dst length %d, want %d", len(dst), len(nw.names))
+	}
+	if nw.ss == nil {
+		f, err := nw.factor(nil)
+		if err != nil {
+			return fmt.Errorf("rc: steady-state factorization: %w", err)
+		}
+		nw.ss = f
+	}
+	nw.ss.SolveInto(dst, p)
+	return nil
 }
 
 // deriv computes dθ/dt = C⁻¹ (P − G θ) into out.
 func (nw *Network) deriv(out, theta, p []float64) {
-	for i, row := range nw.g {
+	g := nw.g
+	for i := 0; i < g.n; i++ {
 		var s float64
-		for j, v := range row {
-			s += v * theta[j]
+		for k := g.rowPtr[i]; k < g.rowPtr[i+1]; k++ {
+			s += g.val[k] * theta[g.colIdx[k]]
 		}
 		out[i] = (p[i] - s) / nw.cap[i]
 	}
@@ -230,13 +380,14 @@ func (nw *Network) deriv(out, theta, p []float64) {
 // which limits the stable explicit step size.
 func (nw *Network) maxRate() float64 {
 	var maxv float64
-	for i, row := range nw.g {
+	g := nw.g
+	for i := 0; i < g.n; i++ {
 		var s float64
-		for j, v := range row {
-			if i == j {
-				s += v
+		for k := g.rowPtr[i]; k < g.rowPtr[i+1]; k++ {
+			if g.colIdx[k] == i {
+				s += g.val[k]
 			} else {
-				s += math.Abs(v)
+				s += math.Abs(g.val[k])
 			}
 		}
 		if r := s / nw.cap[i]; r > maxv {
@@ -291,7 +442,9 @@ func (nw *Network) StepRK4(theta, p []float64, dt float64) error {
 // StepBE advances θ by dt seconds under constant power p using backward
 // Euler: (C/dt + G) θ' = C/dt θ + P. Unconditionally stable, first-order
 // accurate, and fast for repeated fixed steps because the factorization is
-// cached per dt. θ is updated in place.
+// cached per dt — keyed by the bit pattern of dt, not float equality, so
+// the cache behaves sanely for every representable dt. θ is updated in
+// place; after the first step at a given dt the call is allocation-free.
 func (nw *Network) StepBE(theta, p []float64, dt float64) error {
 	if !nw.finalized {
 		return errors.New("rc: StepBE before Finalize")
@@ -302,25 +455,23 @@ func (nw *Network) StepBE(theta, p []float64, dt float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("rc: non-positive dt %v", dt)
 	}
-	lu, ok := nw.beCache[dt]
+	key := math.Float64bits(dt)
+	f, ok := nw.beCache[key]
 	if !ok {
-		n := len(nw.names)
-		a := make([][]float64, n)
-		for i := range a {
-			a[i] = append([]float64(nil), nw.g[i]...)
-			a[i][i] += nw.cap[i] / dt
+		for i, c := range nw.cap {
+			nw.shift[i] = c / dt
 		}
 		var err error
-		lu, err = Factor(a)
+		f, err = nw.factor(nw.shift)
 		if err != nil {
 			return fmt.Errorf("rc: backward Euler factorization: %w", err)
 		}
-		nw.beCache[dt] = lu
+		nw.beCache[key] = f
 	}
 	for i := range theta {
 		nw.tmp[i] = nw.cap[i]/dt*theta[i] + p[i]
 	}
-	lu.SolveInto(theta, nw.tmp)
+	f.SolveInto(theta, nw.tmp)
 	return nil
 }
 

@@ -1,0 +1,425 @@
+package rc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybriddtm/internal/stats"
+)
+
+// buildNetwork constructs a fresh network from a deterministic recipe so the
+// bit-identity tests can run the same model through both solver backends.
+type buildNetwork func() *Network
+
+// gridNetwork builds a rows×cols thermal grid: lateral resistances between
+// neighbours, every cell tied to ambient — the same stencil shape as the
+// hotspot grid model, which is what the profile envelope is tuned for.
+func gridNetwork(rows, cols int) *Network {
+	n := rows * cols
+	names := make([]string, n)
+	caps := make([]float64, n)
+	for i := range names {
+		names[i] = "cell"
+		caps[i] = 0.01 + 0.001*float64(i%13)
+	}
+	nw, err := NewNetwork(names, caps)
+	if err != nil {
+		panic(err)
+	}
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := idx(r, c)
+			if c+1 < cols {
+				if err := nw.AddResistance(i, idx(r, c+1), 0.5+0.1*float64((r+c)%7)); err != nil {
+					panic(err)
+				}
+			}
+			if r+1 < rows {
+				if err := nw.AddResistance(i, idx(r+1, c), 0.7+0.1*float64((r*c)%5)); err != nil {
+					panic(err)
+				}
+			}
+			if err := nw.AddToAmbient(i, 2+0.2*float64(i%3)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := nw.Finalize(); err != nil {
+		panic(err)
+	}
+	return nw
+}
+
+// runSolves drives one network through the solver-backed paths (steady state
+// and backward Euler at two step sizes) and returns the concatenated outputs.
+func runSolves(t *testing.T, nw *Network) []float64 {
+	t.Helper()
+	n := nw.NumNodes()
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.1 + 0.03*float64(i%11)
+	}
+	var out []float64
+	ss, err := nw.SteadyState(p)
+	if err != nil {
+		t.Fatalf("SteadyState: %v", err)
+	}
+	out = append(out, ss...)
+	theta := append([]float64(nil), ss...)
+	for s := 0; s < 5; s++ {
+		if err := nw.StepBE(theta, p, 1e-3); err != nil {
+			t.Fatalf("StepBE: %v", err)
+		}
+	}
+	out = append(out, theta...)
+	for s := 0; s < 3; s++ {
+		if err := nw.StepBE(theta, p, 2.5e-4); err != nil {
+			t.Fatalf("StepBE small dt: %v", err)
+		}
+	}
+	out = append(out, theta...)
+	return out
+}
+
+// TestSparseDenseBitIdentical holds the profile Cholesky path to exact bit
+// equality with the dense LU path on thermal-shaped matrices. This is the
+// load-bearing guarantee behind the byte-exact golden trajectories: the
+// sparse kernels are a pure speedup, not a numerical change. See the
+// rationale comment at the top of cholesky.go.
+func TestSparseDenseBitIdentical(t *testing.T) {
+	builders := map[string]buildNetwork{
+		"grid16x16": func() *Network { return gridNetwork(16, 16) },
+		"grid7x3":   func() *Network { return gridNetwork(7, 3) },
+		"random":    func() *Network { return randomNetwork(rand.New(rand.NewSource(42))) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			sparse := build()
+			sparse.SetSolverMode(SolverCholesky)
+			dense := build()
+			dense.SetSolverMode(SolverDense)
+			got := runSolves(t, sparse)
+			want := runSolves(t, dense)
+			if len(got) != len(want) {
+				t.Fatalf("output length mismatch: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("element %d: sparse %v (bits %#x) != dense %v (bits %#x)",
+						i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestSparseDenseEquivalenceRandom cross-checks the CSR kernels against
+// dense references on random SPD networks: the CSR derivative against a
+// dense mat-vec, and the Cholesky backward-Euler/steady-state solves
+// against the dense LU backend, within ApproxEqual.
+func TestSparseDenseEquivalenceRandom(t *testing.T) {
+	const tol = 1e-9
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(rng)
+		n := nw.NumNodes()
+		p := make([]float64, n)
+		theta := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64() * 3
+			theta[i] = rng.Float64() * 20
+		}
+		// Derivative: CSR row walk vs dense mat-vec.
+		a := nw.G().Dense()
+		gotD := make([]float64, n)
+		nw.deriv(gotD, theta, p)
+		gtheta := MatVec(a, theta)
+		for i := range gotD {
+			want := (p[i] - gtheta[i]) / nw.Capacitance(i)
+			if !stats.ApproxEqual(gotD[i], want, tol) {
+				return false
+			}
+		}
+		// Steady state and BE: Cholesky backend vs forced-dense backend.
+		nw.SetSolverMode(SolverCholesky)
+		twin := randomNetwork(rand.New(rand.NewSource(seed)))
+		twin.SetSolverMode(SolverDense)
+		ss1, err1 := nw.SteadyState(p)
+		ss2, err2 := twin.SteadyState(p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range ss1 {
+			if !stats.ApproxEqual(ss1[i], ss2[i], tol) {
+				return false
+			}
+		}
+		th1 := append([]float64(nil), theta...)
+		th2 := append([]float64(nil), theta...)
+		for s := 0; s < 4; s++ {
+			if err := nw.StepBE(th1, p, 0.01); err != nil {
+				return false
+			}
+			if err := twin.StepBE(th2, p, 0.01); err != nil {
+				return false
+			}
+		}
+		for i := range th1 {
+			if !stats.ApproxEqual(th1[i], th2[i], tol) {
+				return false
+			}
+		}
+		// RK4 runs the same CSR code regardless of backend; make sure it
+		// still contracts toward the same steady state from both copies.
+		if err := nw.StepRK4(th1, p, 0.05); err != nil {
+			return false
+		}
+		if err := twin.StepRK4(th2, p, 0.05); err != nil {
+			return false
+		}
+		for i := range th1 {
+			if !stats.ApproxEqual(th1[i], th2[i], tol) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCholeskyRejectsNonSPD pins the error contract: a symmetric but
+// indefinite matrix must come back as *NotSPDError with an actionable
+// message, not as garbage factors or a panic.
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	// Symmetric, eigenvalues 3 and −1: indefinite.
+	a, err := FromDense([][]float64{{1, 2}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = FactorCholesky(a, nil)
+	if err == nil {
+		t.Fatal("FactorCholesky accepted an indefinite matrix")
+	}
+	var nspd *NotSPDError
+	if !errors.As(err, &nspd) {
+		t.Fatalf("error type %T, want *NotSPDError (%v)", err, err)
+	}
+	if nspd.Pivot != 1 {
+		t.Errorf("pivot index %d, want 1", nspd.Pivot)
+	}
+	if nspd.Value >= 0 {
+		t.Errorf("reported pivot value %v, want negative", nspd.Value)
+	}
+	if msg := err.Error(); msg == "" {
+		t.Error("empty error message")
+	}
+}
+
+// TestNetworkFallsBackToDenseLU checks that a network whose shifted matrix
+// somehow fails the SPD test still solves through the LU fallback. We force
+// the situation via the dense toggle plus a direct Cholesky attempt.
+func TestCholeskyDiagShift(t *testing.T) {
+	// diagShift must act exactly like adding to the diagonal before factoring.
+	base := [][]float64{{4, -1, 0}, {-1, 3, -1}, {0, -1, 2}}
+	shift := []float64{0.5, 1.5, 2.5}
+	shifted := [][]float64{{4.5, -1, 0}, {-1, 4.5, -1}, {0, -1, 4.5}}
+	ca, err := FromDense(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := FromDense(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := FactorCholesky(ca, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := FactorCholesky(cb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3}
+	xa, err := fa.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, err := fb.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xa {
+		if math.Float64bits(xa[i]) != math.Float64bits(xb[i]) {
+			t.Errorf("element %d: shift path %v != explicit path %v", i, xa[i], xb[i])
+		}
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	a := [][]float64{
+		{2, 0, -1, 0},
+		{0, 3, 0, 0},
+		{-1, 0, 4, -2},
+		{0, 0, -2, 5},
+	}
+	m, err := FromDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 4 {
+		t.Fatalf("NumRows = %d, want 4", m.NumRows())
+	}
+	// Every row keeps an explicit diagonal even where other entries vanish.
+	if got := m.NumNonzeros(); got != 8 {
+		t.Fatalf("NumNonzeros = %d, want 8", got)
+	}
+	for i := range a {
+		if m.Diag(i) != a[i][i] {
+			t.Errorf("Diag(%d) = %v, want %v", i, m.Diag(i), a[i][i])
+		}
+		for j := range a[i] {
+			if m.At(i, j) != a[i][j] {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, m.At(i, j), a[i][j])
+			}
+		}
+	}
+	d := m.Dense()
+	for i := range a {
+		for j := range a[i] {
+			if d[i][j] != a[i][j] {
+				t.Errorf("Dense[%d][%d] = %v, want %v", i, j, d[i][j], a[i][j])
+			}
+		}
+	}
+	x := []float64{1, -2, 3, 0.5}
+	y := make([]float64, 4)
+	m.MatVecInto(y, x)
+	want := MatVec(a, x)
+	for i := range y {
+		if math.Float64bits(y[i]) != math.Float64bits(want[i]) {
+			t.Errorf("MatVec[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+// TestFromTripletsMergesInInsertionOrder pins the duplicate-merge order:
+// parallel resistances must compose exactly like the old accumulate-in-place
+// dense assembly, i.e. in AddResistance call order.
+func TestFromTripletsMergesInInsertionOrder(t *testing.T) {
+	// Values chosen so float addition order matters: (big + small) + small2
+	// differs from big + (small + small2) at the ulp level.
+	big, s1, s2 := 1e16, 1.0, 1.0
+	off := []cooEntry{
+		{i: 0, j: 1, v: big},
+		{i: 1, j: 0, v: big},
+		{i: 0, j: 1, v: s1},
+		{i: 1, j: 0, v: s1},
+		{i: 0, j: 1, v: s2},
+		{i: 1, j: 0, v: s2},
+	}
+	m := fromTriplets(2, off, []float64{7, 9})
+	want := big + s1 + s2 // left-to-right, insertion order
+	if got := m.At(0, 1); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("merged value %v, want insertion-order sum %v", got, want)
+	}
+	if m.Diag(0) != 7 || m.Diag(1) != 9 {
+		t.Errorf("diagonal = %v,%v, want 7,9", m.Diag(0), m.Diag(1))
+	}
+}
+
+// TestBEFactorizationCacheKeying ensures the per-dt cache keys on the bit
+// pattern, so two distinct representable step sizes get distinct factors.
+func TestBEFactorizationCacheKeying(t *testing.T) {
+	nw := gridNetwork(3, 3)
+	if len(nw.beCache) != 0 {
+		t.Fatalf("fresh network has %d cached factors", len(nw.beCache))
+	}
+	theta := make([]float64, nw.NumNodes())
+	p := make([]float64, nw.NumNodes())
+	p[0] = 1
+	dt1 := 1e-3
+	dt2 := math.Nextafter(dt1, 2) // adjacent representable value
+	for _, dt := range []float64{dt1, dt1, dt2, dt1} {
+		if err := nw.StepBE(theta, p, dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(nw.beCache); got != 2 {
+		t.Errorf("cache holds %d factors after stepping at 2 distinct dts, want 2", got)
+	}
+	if _, ok := nw.beCache[math.Float64bits(dt1)]; !ok {
+		t.Error("cache missing entry keyed by Float64bits(dt1)")
+	}
+	if _, ok := nw.beCache[math.Float64bits(dt2)]; !ok {
+		t.Error("cache missing entry keyed by Float64bits(dt2)")
+	}
+}
+
+// TestHotPathsAllocationFree verifies the zero-allocation contract of the
+// stepping and solving hot paths once their factorizations are warm.
+func TestHotPathsAllocationFree(t *testing.T) {
+	nw := gridNetwork(8, 8)
+	n := nw.NumNodes()
+	p := make([]float64, n)
+	theta := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range p {
+		p[i] = 0.2
+	}
+	// Warm the caches.
+	if err := nw.SteadyStateInto(dst, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.StepBE(theta, p, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.StepRK4(theta, p, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]func(){
+		"SteadyStateInto": func() { _ = nw.SteadyStateInto(dst, p) },
+		"StepBE":          func() { _ = nw.StepBE(theta, p, 1e-3) },
+		"StepRK4":         func() { _ = nw.StepRK4(theta, p, 1e-3) },
+	}
+	for name, fn := range checks {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, allocs)
+		}
+	}
+	// The dense LU backend shares the contract once factored.
+	lu, err := Factor(nw.G().Dense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { lu.SolveInto(dst, p) }); allocs != 0 {
+		t.Errorf("LU.SolveInto allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestSteadyStateIntoAliasing: dst may alias p, like LU.SolveInto.
+func TestSteadyStateIntoAliasing(t *testing.T) {
+	nw := gridNetwork(4, 4)
+	p := make([]float64, nw.NumNodes())
+	for i := range p {
+		p[i] = 0.1 * float64(i+1)
+	}
+	want, err := nw.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := append([]float64(nil), p...)
+	if err := nw.SteadyStateInto(buf, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(buf[i]) != math.Float64bits(want[i]) {
+			t.Errorf("aliased solve element %d: %v, want %v", i, buf[i], want[i])
+		}
+	}
+}
