@@ -1,0 +1,246 @@
+// Command dtmserve runs the thermal simulator as a service: an HTTP/JSON
+// job API over the experiment runner, with a bounded worker pool, bounded
+// admission queue (load is shed with 429 + Retry-After), and a persistent
+// content-addressed result cache so identical configurations — in-flight
+// or historical — simulate exactly once.
+//
+// Usage:
+//
+//	dtmserve -cache DIR [-addr :8080] [-workers N] [-queue N]
+//	         [-max-insts N] [-retry-after 1s] [-quiet]
+//
+// Endpoints: POST /v1/jobs (submit a config, get a job id), GET /v1/jobs
+// and /v1/jobs/{id} (status), /v1/jobs/{id}/result, /v1/jobs/{id}/trace
+// (JSONL event stream for jobs submitted with "trace": true), /healthz,
+// and /metrics (the obs registry). SIGINT/SIGTERM drain gracefully:
+// in-flight jobs complete and persist, queued jobs report "canceled".
+//
+// Load generation:
+//
+//	dtmserve -loadgen [-n 500] [-clients 8] [-mix 24] [-scale smoke]
+//	         [-insts N] [-jobs file.jsonl] [-base URL] [-snapshot-out DIR]
+//
+// replays a deterministic mixed workload (duplicates included — dedup and
+// caching are the point) against -base, or against a throwaway in-process
+// server when -base is empty, and reports completed jobs/sec plus
+// submission-to-completion latency percentiles. -snapshot-out records a
+// BENCH_<sha>.json perf snapshot with serve.jobs_per_sec for dtmreport's
+// regression gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"hybriddtm/internal/obs"
+	"hybriddtm/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dtmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context) error {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	cacheDir := flag.String("cache", "", "persistent result cache directory (default: a temporary directory)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = serve default)")
+	queue := flag.Int("queue", 0, "max queued-but-unstarted jobs before shedding with 429 (0 = serve default)")
+	maxInsts := flag.Uint64("max-insts", 0, "per-job instruction cap (0 = serve default)")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on 429 responses (0 = serve default)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
+	quiet := flag.Bool("quiet", false, "suppress request/job logging")
+
+	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving")
+	base := flag.String("base", "", "loadgen: target server URL (default: a throwaway in-process server)")
+	n := flag.Int("n", 500, "loadgen: total submissions")
+	clients := flag.Int("clients", 8, "loadgen: concurrent clients")
+	mix := flag.Int("mix", 24, "loadgen: distinct configs in the generated mix (ignored with -jobs)")
+	scale := flag.String("scale", serve.ScaleSmoke, "loadgen: fidelity preset for the generated mix (paper, quick, smoke)")
+	insts := flag.Uint64("insts", 200_000, "loadgen: measured-window instructions for the generated mix")
+	jobsFile := flag.String("jobs", "", "loadgen: JSONL file of job configs to replay (default: generated mix)")
+	snapshotOut := flag.String("snapshot-out", "", "loadgen: write a BENCH_<sha>.json perf snapshot into this directory (or to this exact path when it ends in .json)")
+	flag.Parse()
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	dir := *cacheDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "dtmserve-cache-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp) //nolint:errcheck // best-effort cleanup of a temp dir
+		dir = tmp
+		fmt.Fprintln(os.Stderr, "dtmserve: cache:", dir)
+	}
+	cfg := serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheDir:        dir,
+		MaxInstructions: *maxInsts,
+		RetryAfter:      *retryAfter,
+		Logger:          logger,
+	}
+
+	if *loadgen {
+		return runLoadgen(ctx, cfg, loadgenSpec{
+			base:        *base,
+			total:       *n,
+			clients:     *clients,
+			mix:         *mix,
+			scale:       *scale,
+			insts:       *insts,
+			jobsFile:    *jobsFile,
+			snapshotOut: *snapshotOut,
+		})
+	}
+	return runServe(ctx, cfg, *addr, *drain)
+}
+
+// runServe hosts the API until the context is canceled, then drains:
+// stop accepting (http.Server.Shutdown), then let in-flight simulations
+// finish and persist (serve.Server.Shutdown with the -drain budget).
+func runServe(ctx context.Context, cfg serve.Config, addr string, drain time.Duration) error {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dtmserve: listening on http://%s\n", ln.Addr())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "dtmserve: shutting down, draining in-flight jobs")
+	stopCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	httpErr := httpSrv.Shutdown(stopCtx)
+	if err := srv.Shutdown(stopCtx); err != nil {
+		return err
+	}
+	return httpErr
+}
+
+type loadgenSpec struct {
+	base        string
+	total       int
+	clients     int
+	mix         int
+	scale       string
+	insts       uint64
+	jobsFile    string
+	snapshotOut string
+}
+
+// runLoadgen replays the mix and prints the LoadReport as JSON. Against
+// an in-process server (empty -base) the snapshot captures the server's
+// own registry, so sim.* throughput rides along with serve.jobs_per_sec.
+func runLoadgen(ctx context.Context, cfg serve.Config, spec loadgenSpec) error {
+	jobs, err := loadgenJobs(spec)
+	if err != nil {
+		return err
+	}
+
+	baseURL := spec.base
+	var reg *obs.Registry
+	if baseURL == "" {
+		srv, err := serve.New(cfg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close() //nolint:errcheck // torn down with the process
+		reg = srv.Metrics()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)  //nolint:errcheck // lifetime owned by the process
+		defer httpSrv.Close() //nolint:errcheck // torn down with the process
+		baseURL = "http://" + ln.Addr().String()
+		fmt.Fprintln(os.Stderr, "dtmserve: loadgen target:", baseURL)
+	} else {
+		reg = obs.NewRegistry()
+	}
+
+	start := time.Now()
+	report, err := serve.Replay(ctx, serve.LoadSpec{
+		BaseURL: baseURL,
+		Jobs:    jobs,
+		Total:   spec.total,
+		Clients: spec.clients,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if report.Failed > 0 {
+		return fmt.Errorf("loadgen: %d of %d jobs failed", report.Failed, report.Total)
+	}
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	if err := out.Encode(report); err != nil {
+		return err
+	}
+
+	if spec.snapshotOut == "" {
+		return nil
+	}
+	snap := obs.CaptureBench(reg, elapsed, spec.clients, start)
+	snap.Add("serve.jobs_per_sec", "jobs/s", report.JobsPerSec, obs.BetterHigher)
+	snap.Add("serve.latency_p50_s", "s", report.LatencyP50S, obs.BetterLower)
+	snap.Add("serve.latency_p99_s", "s", report.LatencyP99S, obs.BetterLower)
+	path := spec.snapshotOut
+	if strings.HasSuffix(path, ".json") {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+	} else {
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(path, obs.BenchFileName(snap.GitSHA))
+	}
+	if err := snap.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "dtmserve: snapshot:", path)
+	return nil
+}
+
+func loadgenJobs(spec loadgenSpec) ([]serve.JobConfig, error) {
+	if spec.jobsFile != "" {
+		return serve.LoadJobsFile(spec.jobsFile)
+	}
+	if spec.mix <= 0 {
+		return nil, fmt.Errorf("loadgen: -mix must be positive")
+	}
+	return serve.DefaultMix(spec.mix, spec.insts, spec.scale), nil
+}

@@ -34,10 +34,7 @@ import (
 	"time"
 
 	"hybriddtm/internal/core"
-	"hybriddtm/internal/dtm"
-	"hybriddtm/internal/dvfs"
 	"hybriddtm/internal/experiments"
-	"hybriddtm/internal/floorplan"
 	"hybriddtm/internal/obs"
 	"hybriddtm/internal/report"
 	"hybriddtm/internal/stats"
@@ -89,7 +86,7 @@ func run(ctx context.Context) error {
 	cfg.DVSStall = !*ideal
 	cfg.VMinFrac = *vmin
 
-	factory, err := policyFactory(&cfg, *policy, *gate, *steps)
+	factory, err := experiments.PolicyByName(&cfg, *policy, *gate, *steps)
 	if err != nil {
 		return err
 	}
@@ -207,84 +204,6 @@ func parseBenchmarks(arg string) ([]trace.Profile, error) {
 		profs = append(profs, prof)
 	}
 	return profs, nil
-}
-
-// policyFactory builds the policy factory for the named scheme. cfg may be
-// adjusted (dvs-pi installs its ladder into the simulator config).
-func policyFactory(cfg *core.Config, name string, gate float64, steps int) (experiments.PolicyFactory, error) {
-	c := *cfg
-	mk := func(newFn func() (dtm.Policy, error)) (experiments.PolicyFactory, error) {
-		return experiments.PolicyFactory{Name: name, New: newFn}, nil
-	}
-	switch name {
-	case "none":
-		return mk(func() (dtm.Policy, error) { return dtm.None(), nil })
-	case "dvs":
-		return mk(func() (dtm.Policy, error) {
-			ladder, err := dvfs.Binary(c.Tech, c.VMinFrac)
-			if err != nil {
-				return nil, err
-			}
-			return dtm.DVSBinary(c.Trigger, ladder)
-		})
-	case "dvs-pi":
-		ladder, err := dvfs.NewLadder(c.Tech, steps, c.VMinFrac)
-		if err != nil {
-			return experiments.PolicyFactory{}, err
-		}
-		cfg.Ladder = ladder
-		c = *cfg
-		return mk(func() (dtm.Policy, error) {
-			l, err := dvfs.NewLadder(c.Tech, steps, c.VMinFrac)
-			if err != nil {
-				return nil, err
-			}
-			return dtm.DVSPI(c.Trigger, l)
-		})
-	case "fg":
-		return mk(func() (dtm.Policy, error) {
-			return dtm.FetchGating(c.Trigger, dtm.DefaultFGGain, 2.0/3)
-		})
-	case "fg-fixed":
-		return mk(func() (dtm.Policy, error) { return dtm.FixedFG(c.Trigger, gate) })
-	case "clockgate":
-		return mk(func() (dtm.Policy, error) { return dtm.ClockGating(c.Trigger), nil })
-	case "pi-hyb":
-		return mk(func() (dtm.Policy, error) {
-			ladder, err := dvfs.Binary(c.Tech, c.VMinFrac)
-			if err != nil {
-				return nil, err
-			}
-			return dtm.PIHyb(c.Trigger, dtm.DefaultFGGain, gate, ladder)
-		})
-	case "hyb":
-		return mk(func() (dtm.Policy, error) {
-			ladder, err := dvfs.Binary(c.Tech, c.VMinFrac)
-			if err != nil {
-				return nil, err
-			}
-			return dtm.Hyb(c.Trigger, 0.4, gate, ladder)
-		})
-	case "local":
-		return mk(func() (dtm.Policy, error) {
-			return dtm.LocalToggling(c.Trigger, dtm.DefaultFGGain, 2.0/3,
-				experiments.EV6Domains(floorplan.EV6()))
-		})
-	case "proactive-dvs":
-		return mk(func() (dtm.Policy, error) {
-			ladder, err := dvfs.Binary(c.Tech, c.VMinFrac)
-			if err != nil {
-				return nil, err
-			}
-			inner, err := dtm.DVSBinary(c.Trigger, ladder)
-			if err != nil {
-				return nil, err
-			}
-			return dtm.Proactive(inner, 1.5e-3)
-		})
-	default:
-		return experiments.PolicyFactory{}, fmt.Errorf("unknown policy %q", name)
-	}
 }
 
 // runOne prints the detailed single-benchmark summary, optionally tracing

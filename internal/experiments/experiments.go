@@ -313,6 +313,14 @@ func (r *Runner) RunWithConfig(cfg core.Config, prof trace.Profile, factory Poli
 	return r.runJob(context.Background(), Job{Config: cfg, Profile: prof, Factory: factory})
 }
 
+// RunJobContext executes one job on the calling goroutine, sharing the
+// runner's singleflight baseline cache and metrics registry with every
+// other caller. It is the entry point for drivers that manage their own
+// concurrency (the dtmserve worker pool); batch drivers use RunJobs.
+func (r *Runner) RunJobContext(ctx context.Context, job Job) (Measurement, error) {
+	return r.runJob(ctx, job)
+}
+
 // runJob executes one simulation job: resolve the baseline (shared via the
 // singleflight cache), build a fresh policy, run, and normalize. Job
 // wall-clock latency feeds the pool.job_s histogram when a registry is

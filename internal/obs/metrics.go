@@ -349,6 +349,21 @@ const (
 	MetricPoolJobs       = "pool.jobs_done"          // counter: pool jobs completed
 	MetricPoolJobSeconds = "pool.job_s"              // histogram: per-job wall-clock latency
 	MetricPoolActive     = "pool.active_workers"     // gauge: workers currently running a job
+
+	// Job-server (internal/serve) metrics. serve.job_s measures
+	// submission-to-completion latency as the server saw it, including
+	// queueing; cache hits are counted but observe no latency (they
+	// complete at submission).
+	MetricServeJobs        = "serve.jobs_done"     // counter: jobs completed (simulated or cache-served)
+	MetricServeFailed      = "serve.jobs_failed"   // counter: jobs that ended in error
+	MetricServeCanceled    = "serve.jobs_canceled" // counter: queued jobs canceled by shutdown
+	MetricServeRejected    = "serve.rejected"      // counter: submissions shed with 429 (queue full)
+	MetricServeDeduped     = "serve.deduped"       // counter: submissions coalesced onto an identical live job
+	MetricServeCacheHits   = "serve.cache_hits"    // counter: submissions served from the on-disk result cache
+	MetricServeCacheMisses = "serve.cache_misses"  // counter: submissions that required a simulation
+	MetricServeQueueDepth  = "serve.queue_depth"   // gauge: jobs queued but not yet running
+	MetricServeActive      = "serve.active_jobs"   // gauge: jobs currently simulating
+	MetricServeJobSeconds  = "serve.job_s"         // histogram: submission-to-completion latency
 )
 
 // MetricsTracer adapts a Registry to the Tracer interface: it folds the

@@ -1,0 +1,221 @@
+// The persistent result cache: content-addressed storage under one
+// directory, one file per job key. Entries are written atomically
+// (temp file + rename) and carry an integrity header — the sha256 of the
+// JSON body on the first line — so a truncated, bit-flipped, or foreign
+// file is detected as a miss and recomputed, never served or crashed on.
+// This extends the experiment runner's per-process singleflight baseline
+// cache across processes and restarts: a historical config is a disk hit,
+// an in-flight one is deduplicated by the server's job index, and only
+// genuinely new work reaches the simulator.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hybriddtm/internal/experiments"
+)
+
+// CacheSchemaVersion identifies the on-disk entry schema. Entries with a
+// different schema (or kind) are ignored as misses.
+const CacheSchemaVersion = 1
+
+// KindCacheEntry is the "kind" discriminator of cache-entry documents.
+const KindCacheEntry = "serve-result"
+
+// sumPrefix starts the integrity header line of every entry file.
+const sumPrefix = "sha256:"
+
+// Entry is one cached job result: the normalized request that produced
+// it and the measurement it produced.
+type Entry struct {
+	Kind   string `json:"kind"` // always "serve-result"
+	Schema int    `json:"schema"`
+
+	Key         string                  `json:"key"`
+	Job         JobConfig               `json:"job"`
+	Measurement experiments.Measurement `json:"measurement"`
+}
+
+// Validate checks the discriminator, schema, and key binding.
+func (e Entry) Validate(wantKey string) error {
+	if e.Kind != KindCacheEntry {
+		return fmt.Errorf("serve: cache entry kind %q, want %q", e.Kind, KindCacheEntry)
+	}
+	if e.Schema != CacheSchemaVersion {
+		return fmt.Errorf("serve: cache entry schema %d, want %d", e.Schema, CacheSchemaVersion)
+	}
+	if e.Key != wantKey {
+		return fmt.Errorf("serve: cache entry key %q does not match file key %q", e.Key, wantKey)
+	}
+	return nil
+}
+
+// Cache is a content-addressed result store rooted at one directory.
+// Get and Put are safe for concurrent use: writes are atomic renames and
+// readers see either the complete old file, the complete new file, or a
+// verifiable corruption (a miss).
+type Cache struct {
+	dir string
+}
+
+// OpenCache creates (if needed) and opens the cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// validKey guards path construction: keys are the short hex digests
+// obs.HashJSON produces, nothing else reaches the filesystem.
+func validKey(key string) bool {
+	if len(key) != 16 {
+		return false
+	}
+	for _, r := range key {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cache) entryPath(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// TracePath is where the JSONL event trace for a key lives (when the job
+// requested one).
+func (c *Cache) TracePath(key string) string { return filepath.Join(c.dir, key+".trace.jsonl") }
+
+// HasTrace reports whether a trace artifact exists for the key.
+func (c *Cache) HasTrace(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	info, err := os.Stat(c.TracePath(key))
+	return err == nil && info.Mode().IsRegular()
+}
+
+// EncodeEntry renders an entry in the on-disk format: an integrity line
+// "sha256:<hex digest of body>\n" followed by the JSON body.
+func EncodeEntry(e Entry) ([]byte, error) {
+	body, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode cache entry: %w", err)
+	}
+	body = append(body, '\n')
+	sum := sha256.Sum256(body)
+	header := sumPrefix + hex.EncodeToString(sum[:]) + "\n"
+	return append([]byte(header), body...), nil
+}
+
+// DecodeEntry parses and verifies the on-disk format against the expected
+// key. Any deviation — short file, bad header, digest mismatch, JSON
+// damage, wrong kind/schema/key — is an error; callers treat every error
+// as a cache miss.
+func DecodeEntry(data []byte, wantKey string) (Entry, error) {
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return Entry{}, fmt.Errorf("serve: cache entry missing integrity header")
+	}
+	header, body := string(data[:nl]), data[nl+1:]
+	if len(header) != len(sumPrefix)+2*sha256.Size || header[:len(sumPrefix)] != sumPrefix {
+		return Entry{}, fmt.Errorf("serve: malformed integrity header %q", header)
+	}
+	want, err := hex.DecodeString(header[len(sumPrefix):])
+	if err != nil {
+		return Entry{}, fmt.Errorf("serve: malformed integrity digest: %w", err)
+	}
+	sum := sha256.Sum256(body)
+	if string(sum[:]) != string(want) {
+		return Entry{}, fmt.Errorf("serve: cache entry integrity mismatch")
+	}
+	var e Entry
+	if err := json.Unmarshal(body, &e); err != nil {
+		return Entry{}, fmt.Errorf("serve: cache entry body: %w", err)
+	}
+	if err := e.Validate(wantKey); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// Get returns the cached entry for key, or ok=false on any miss —
+// including a present-but-damaged file, which is left in place for
+// inspection and simply recomputed over.
+func (c *Cache) Get(key string) (Entry, bool) {
+	if !validKey(key) {
+		return Entry{}, false
+	}
+	data, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return Entry{}, false
+	}
+	e, err := DecodeEntry(data, key)
+	if err != nil {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Put stores an entry atomically: the bytes land under a temporary name
+// and are renamed into place, so concurrent readers and an interrupted
+// shutdown can never observe a half-written entry under its final key.
+func (c *Cache) Put(e Entry) error {
+	if !validKey(e.Key) {
+		return fmt.Errorf("serve: invalid cache key %q", e.Key)
+	}
+	data, err := EncodeEntry(e)
+	if err != nil {
+		return err
+	}
+	return c.writeAtomic(c.entryPath(e.Key), data)
+}
+
+// PutTraceFile moves a completed trace artifact (written to a temporary
+// path by the job's sink) into its content-addressed home. Rename keeps
+// the same atomicity property as Put.
+func (c *Cache) PutTraceFile(key, tmpPath string) error {
+	if !validKey(key) {
+		return fmt.Errorf("serve: invalid cache key %q", key)
+	}
+	return os.Rename(tmpPath, c.TracePath(key))
+}
+
+func (c *Cache) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	return nil
+}

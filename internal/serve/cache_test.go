@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybriddtm/internal/experiments"
+)
+
+func testEntry(t testing.TB) Entry {
+	t.Helper()
+	jc := JobConfig{Benchmark: "gzip", Policy: "hyb", Instructions: 100_000, Scale: ScaleSmoke}.Normalize()
+	key, err := jc.Key()
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	return Entry{
+		Kind:   KindCacheEntry,
+		Schema: CacheSchemaVersion,
+		Key:    key,
+		Job:    jc,
+		Measurement: experiments.Measurement{
+			Benchmark: "gzip",
+			Policy:    "hyb",
+			Slowdown:  1.0625,
+		},
+	}
+}
+
+func TestCacheRoundtrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	e := testEntry(t)
+	if _, ok := c.Get(e.Key); ok {
+		t.Fatalf("Get before Put: unexpected hit")
+	}
+	if err := c.Put(e); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := c.Get(e.Key)
+	if !ok {
+		t.Fatalf("Get after Put: miss")
+	}
+	want, _ := json.Marshal(e)
+	have, _ := json.Marshal(got)
+	if !bytes.Equal(want, have) {
+		t.Fatalf("roundtrip mismatch:\n put %s\n got %s", want, have)
+	}
+}
+
+func TestCacheRejectsCorruption(t *testing.T) {
+	e := testEntry(t)
+	valid, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatalf("EncodeEntry: %v", err)
+	}
+	if _, err := DecodeEntry(valid, e.Key); err != nil {
+		t.Fatalf("DecodeEntry of valid encoding: %v", err)
+	}
+
+	// Every truncation of the valid encoding must be a detected miss.
+	for n := 0; n < len(valid); n++ {
+		if _, err := DecodeEntry(valid[:n], e.Key); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+	// Any single bit flip anywhere — header or body — must be detected.
+	// (Stride keeps the quadratic loop cheap; offsets cover both regions.)
+	for off := 0; off < len(valid); off += 7 {
+		corrupt := append([]byte(nil), valid...)
+		corrupt[off] ^= 0x01
+		if _, err := DecodeEntry(corrupt, e.Key); err == nil {
+			t.Fatalf("bit flip at offset %d decoded successfully", off)
+		}
+	}
+	// A valid entry served under the wrong key must be rejected.
+	if _, err := DecodeEntry(valid, strings.Repeat("0", 16)); err == nil {
+		t.Fatalf("entry accepted under foreign key")
+	}
+}
+
+func TestCacheDamagedFileIsMissNotError(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	e := testEntry(t)
+	if err := c.Put(e); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	path := filepath.Join(c.Dir(), e.Key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read entry: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("truncate entry: %v", err)
+	}
+	if _, ok := c.Get(e.Key); ok {
+		t.Fatalf("Get served a truncated entry")
+	}
+	// The damaged file is left in place for inspection, and Put repairs it.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("damaged entry removed: %v", err)
+	}
+	if err := c.Put(e); err != nil {
+		t.Fatalf("Put over damaged entry: %v", err)
+	}
+	if _, ok := c.Get(e.Key); !ok {
+		t.Fatalf("Get after repair: miss")
+	}
+}
+
+func TestCacheWrongSchemaOrKind(t *testing.T) {
+	e := testEntry(t)
+	for _, mutate := range []func(*Entry){
+		func(e *Entry) { e.Schema = CacheSchemaVersion + 1 },
+		func(e *Entry) { e.Kind = "something-else" },
+	} {
+		bad := e
+		mutate(&bad)
+		data, err := EncodeEntry(bad)
+		if err != nil {
+			t.Fatalf("EncodeEntry: %v", err)
+		}
+		if _, err := DecodeEntry(data, e.Key); err == nil {
+			t.Fatalf("mutated entry %+v decoded successfully", bad)
+		}
+	}
+}
+
+func TestCacheKeyHygiene(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	for _, key := range []string{"", "..", "../../etc/passwd", "short", "ABCDEF0123456789", strings.Repeat("g", 16)} {
+		if _, ok := c.Get(key); ok {
+			t.Fatalf("Get(%q) hit", key)
+		}
+		if err := c.Put(Entry{Kind: KindCacheEntry, Schema: CacheSchemaVersion, Key: key}); err == nil {
+			t.Fatalf("Put(%q) accepted", key)
+		}
+	}
+	if _, err := OpenCache(""); err == nil {
+		t.Fatalf("OpenCache accepted an empty directory")
+	}
+}
+
+func TestCacheNoPartialFilesAfterPut(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	if err := c.Put(testEntry(t)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	names, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, d := range names {
+		if strings.HasPrefix(d.Name(), "tmp-") {
+			t.Fatalf("temporary file %s left behind", d.Name())
+		}
+	}
+}

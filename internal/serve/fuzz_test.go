@@ -1,0 +1,118 @@
+// Fuzzing the two parsers that face untrusted bytes: job configs off the
+// wire and cache entries off the disk. The properties are uniform — never
+// panic; reject cleanly (a rejected config enqueues nothing, a damaged
+// entry is a miss, never served); and anything accepted survives a
+// re-encode round trip with its identity intact.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corpusSeeds returns the example job mix as fuzz seeds, so the fuzzer
+// starts from every policy, scale, and optional field the API documents.
+func corpusSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "serve", "jobs.jsonl"))
+	if err != nil {
+		t.Fatalf("seed corpus: %v", err)
+	}
+	var seeds [][]byte
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if line = bytes.TrimSpace(line); len(line) > 0 {
+			seeds = append(seeds, line)
+		}
+	}
+	return seeds
+}
+
+func FuzzParseJobConfig(f *testing.F) {
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed)
+	}
+	for _, seed := range []string{
+		``, `{}`, `null`, `[]`, `{"benchmark":"gzip"}`,
+		`{"benchmark":"gzip","policy":"hyb"}{"benchmark":"gcc","policy":"dvs"}`,
+		`{"benchmark":"gzip","policy":"hyb","gate":1e308}`,
+		`{"benchmark":"gzip","policy":"hyb","gate":-0.5}`,
+		`{"benchmark":"gzip","policy":"hyb","instructions":-1}`,
+		`{"benchmark":" ","policy":"hyb"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jc, err := ParseJobConfig(data)
+		if err != nil {
+			return // rejected: the server answers 400 and enqueues nothing
+		}
+		// Accepted configs must be fully valid and have a stable identity.
+		if err := jc.Validate(); err != nil {
+			t.Fatalf("ParseJobConfig accepted an invalid config %+v: %v", jc, err)
+		}
+		key, err := jc.Key()
+		if err != nil {
+			t.Fatalf("accepted config has no key: %v", err)
+		}
+		if !validKey(key) {
+			t.Fatalf("key %q is not a valid cache key", key)
+		}
+		// Round trip: re-marshaling and re-parsing must not change what
+		// work the config denotes.
+		enc, err := json.Marshal(jc)
+		if err != nil {
+			t.Fatalf("marshal accepted config: %v", err)
+		}
+		jc2, err := ParseJobConfig(enc)
+		if err != nil {
+			t.Fatalf("re-parse of accepted config %s: %v", enc, err)
+		}
+		key2, err := jc2.Key()
+		if err != nil || key2 != key {
+			t.Fatalf("identity drifted across round trip: %q -> %q (%v)", key, key2, err)
+		}
+	})
+}
+
+func FuzzCacheEntry(f *testing.F) {
+	e := testEntry(f)
+	valid, err := EncodeEntry(e)
+	if err != nil {
+		f.Fatalf("EncodeEntry: %v", err)
+	}
+	key := e.Key
+
+	// Seeds: the valid encoding plus systematic damage — truncations,
+	// bit flips in header and body, a missing header, a foreign document.
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(sumPrefix)+3])
+	f.Add([]byte("sha256:deadbeef\n{}"))
+	f.Add([]byte("{\"kind\":\"serve-result\"}"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeEntry(data, key)
+		if err != nil {
+			return // a miss: the server recomputes, never serves damage
+		}
+		// Anything accepted must carry the expected key and survive a
+		// re-encode byte-for-byte (the format has one canonical encoding
+		// per entry, so a decoded entry re-encodes to a decodable form).
+		if got.Key != key {
+			t.Fatalf("decoded entry carries key %q, want %q", got.Key, key)
+		}
+		enc, err := EncodeEntry(got)
+		if err != nil {
+			t.Fatalf("re-encode of accepted entry: %v", err)
+		}
+		if _, err := DecodeEntry(enc, key); err != nil {
+			t.Fatalf("re-encoded entry does not decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+// Job configs: the wire schema of the dtmserve API. A JobConfig is the
+// client-facing description of one simulation — benchmark, policy, scale —
+// that normalizes to a fully resolved core.Config. Identity is content-
+// addressed: Key() hashes the normalized request together with the
+// resolved configuration (the same sha256-over-canonical-JSON digest
+// obs.Manifest records as ConfigHash), so byte-identical work is
+// deduplicated against both in-flight jobs and the on-disk result cache.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"hybriddtm/internal/core"
+	"hybriddtm/internal/experiments"
+	"hybriddtm/internal/obs"
+	"hybriddtm/internal/stats"
+	"hybriddtm/internal/trace"
+)
+
+// JobSchemaVersion identifies the job-config wire schema; it participates
+// in the cache key, so a breaking schema change naturally invalidates
+// historical cache entries instead of misreading them.
+const JobSchemaVersion = 1
+
+// Scale presets trade fidelity for latency: how much warm-up, activity
+// measurement, and controller settling precede the measured window.
+// "paper" is DefaultConfig (the paper's methodology), "quick" matches the
+// repo's fast regression configs, "smoke" is the smallest budget the
+// coupled loop accepts without degenerate windows.
+const (
+	ScalePaper = "paper"
+	ScaleQuick = "quick"
+	ScaleSmoke = "smoke"
+)
+
+// JobConfig is one simulation request. Zero-valued optional fields take
+// the documented defaults during Normalize; unknown fields are rejected
+// at parse time.
+type JobConfig struct {
+	// Benchmark names one of the nine workload profiles ("gzip", ...).
+	Benchmark string `json:"benchmark"`
+	// Policy names the DTM scheme (see experiments.PolicyNames).
+	Policy string `json:"policy"`
+	// Instructions is the measured-window length. Default 10M; servers
+	// additionally cap it (Config.MaxInstructions).
+	Instructions uint64 `json:"instructions,omitempty"`
+	// IdealDVS selects stall-free DVS transitions (§4.1 "ideal").
+	IdealDVS bool `json:"ideal_dvs,omitempty"`
+	// Gate is the fixed fetch-gating fraction (fg-fixed) or hybrid
+	// crossover (hyb, pi-hyb). Default 1/3, the DVS-stall crossover.
+	Gate float64 `json:"gate,omitempty"`
+	// VMinFrac is the DVS low voltage as a fraction of nominal, in (0,1).
+	// Default 0.85.
+	VMinFrac float64 `json:"vmin_frac,omitempty"`
+	// LadderSteps is the DVS ladder depth for dvs-pi. Default 5.
+	LadderSteps int `json:"ladder_steps,omitempty"`
+	// Scale is the fidelity preset: "paper" (default), "quick", "smoke".
+	Scale string `json:"scale,omitempty"`
+	// Trace requests the run's JSONL event stream, retrievable from
+	// GET /v1/jobs/{id}/trace once the job completes. Traced and untraced
+	// submissions of the same configuration are distinct cache entries
+	// (the trace artifact is part of what the key addresses).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// ParseJobConfig decodes, normalizes, and validates one request body.
+// The returned config is safe to Resolve; any error means the request
+// must be rejected without enqueueing work.
+func ParseJobConfig(data []byte) (JobConfig, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var jc JobConfig
+	if err := dec.Decode(&jc); err != nil {
+		return JobConfig{}, fmt.Errorf("decode: %w", err)
+	}
+	// Trailing garbage after the object is a malformed request, not an
+	// ignorable suffix.
+	if dec.More() {
+		return JobConfig{}, errors.New("decode: trailing data after job config")
+	}
+	jc = jc.Normalize()
+	if err := jc.Validate(); err != nil {
+		return JobConfig{}, err
+	}
+	return jc, nil
+}
+
+// Normalize fills defaulted fields so that explicit-default and omitted
+// requests share one cache identity.
+func (jc JobConfig) Normalize() JobConfig {
+	if jc.Instructions == 0 {
+		jc.Instructions = 10_000_000
+	}
+	if stats.SameFloat(jc.Gate, 0) {
+		jc.Gate = experiments.CrossoverGateStall
+	}
+	if stats.SameFloat(jc.VMinFrac, 0) {
+		jc.VMinFrac = 0.85
+	}
+	if jc.LadderSteps == 0 {
+		jc.LadderSteps = 5
+	}
+	if jc.Scale == "" {
+		jc.Scale = ScalePaper
+	}
+	return jc
+}
+
+// Validate checks a normalized config against the accepted vocabulary.
+func (jc JobConfig) Validate() error {
+	if jc.Benchmark == "" {
+		return errors.New("benchmark is required")
+	}
+	if _, ok := trace.ByName(jc.Benchmark); !ok {
+		return fmt.Errorf("unknown benchmark %q (have %s)",
+			jc.Benchmark, strings.Join(trace.BenchmarkNames(), ", "))
+	}
+	if jc.Policy == "" {
+		return errors.New("policy is required")
+	}
+	if !knownPolicy(jc.Policy) {
+		return fmt.Errorf("unknown policy %q (have %s)", jc.Policy, experiments.PolicyNameList())
+	}
+	if jc.Instructions < 50_000 {
+		return fmt.Errorf("instructions %d below minimum 50000 (smaller windows are degenerate)", jc.Instructions)
+	}
+	if !(jc.Gate > 0 && jc.Gate < 1) {
+		return fmt.Errorf("gate %v outside (0,1)", jc.Gate)
+	}
+	if !(jc.VMinFrac > 0 && jc.VMinFrac < 1) {
+		return fmt.Errorf("vmin_frac %v outside (0,1)", jc.VMinFrac)
+	}
+	if jc.LadderSteps < 2 || jc.LadderSteps > 16 {
+		return fmt.Errorf("ladder_steps %d outside [2,16]", jc.LadderSteps)
+	}
+	switch jc.Scale {
+	case ScalePaper, ScaleQuick, ScaleSmoke:
+	default:
+		return fmt.Errorf("unknown scale %q (have %s, %s, %s)", jc.Scale, ScalePaper, ScaleQuick, ScaleSmoke)
+	}
+	return nil
+}
+
+func knownPolicy(name string) bool {
+	for _, n := range experiments.PolicyNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolve builds the simulator inputs for a normalized, validated config:
+// the fully resolved core.Config (scale preset applied, DVS variant and
+// voltage floor installed), the benchmark profile, and the policy factory.
+func (jc JobConfig) Resolve() (core.Config, trace.Profile, experiments.PolicyFactory, error) {
+	cfg := core.DefaultConfig()
+	switch jc.Scale {
+	case ScaleQuick:
+		cfg.WarmupCycles = 300_000
+		cfg.InitCycles = 200_000
+		cfg.SettleInstructions = 300_000
+	case ScaleSmoke:
+		cfg.WarmupCycles = 100_000
+		cfg.InitCycles = 100_000
+		cfg.SettleInstructions = 100_000
+	}
+	cfg.DVSStall = !jc.IdealDVS
+	cfg.VMinFrac = jc.VMinFrac
+	prof, ok := trace.ByName(jc.Benchmark)
+	if !ok {
+		return core.Config{}, trace.Profile{}, experiments.PolicyFactory{},
+			fmt.Errorf("unknown benchmark %q", jc.Benchmark)
+	}
+	factory, err := experiments.PolicyByName(&cfg, jc.Policy, jc.Gate, jc.LadderSteps)
+	if err != nil {
+		return core.Config{}, trace.Profile{}, experiments.PolicyFactory{}, err
+	}
+	return cfg, prof, factory, nil
+}
+
+// jobIdentity is what Key hashes: the normalized request plus the fully
+// resolved configuration it denotes. Hashing both means the key changes
+// when either the wire request or the underlying simulator defaults
+// change — a new DefaultConfig invalidates stale cache entries instead of
+// serving results the current code would not reproduce.
+type jobIdentity struct {
+	Schema int         `json:"schema"`
+	Job    JobConfig   `json:"job"`
+	Config core.Config `json:"config"`
+}
+
+// Key returns the content-addressed identity of the work this config
+// denotes: a short hex sha256 over canonical JSON (obs.HashJSON, the same
+// digest manifests record). Equal keys mean byte-identical simulations.
+func (jc JobConfig) Key() (string, error) {
+	cfg, _, _, err := jc.Resolve()
+	if err != nil {
+		return "", err
+	}
+	cfg.Tracer = nil // wiring, not configuration (see report.BuildManifest)
+	return obs.HashJSON(jobIdentity{Schema: JobSchemaVersion, Job: jc, Config: cfg})
+}

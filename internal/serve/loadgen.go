@@ -1,0 +1,318 @@
+// Load generation: replay a mix of job configs against a live dtmserve
+// instance from N concurrent clients and measure what the service
+// sustains — submission-to-completion latency percentiles and completed
+// jobs per second. The mix deliberately contains duplicates (that is the
+// service's whole point: dedup and cache), and the report separates
+// simulated work from dedup/cache-served completions so a BENCH snapshot
+// can gate the end-to-end rate in CI.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"hybriddtm/internal/stats"
+	"hybriddtm/internal/trace"
+)
+
+// LoadSpec configures one load run.
+type LoadSpec struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Jobs is the config mix; submission i sends Jobs[i%len(Jobs)], so the
+	// duplicate structure is independent of client count and scheduling.
+	Jobs []JobConfig
+	// Total submissions across all clients. Default: len(Jobs).
+	Total int
+	// Clients is the number of concurrent submitters. Default: 8.
+	Clients int
+	// Poll is the initial status-poll interval (it backs off to 50×).
+	// Default: 5ms.
+	Poll time.Duration
+	// Client is the HTTP client. Default: http.DefaultClient.
+	Client *http.Client
+}
+
+// LoadReport is what a load run observed.
+type LoadReport struct {
+	Total     int `json:"total"`     // submissions attempted
+	Completed int `json:"completed"` // reached state "done"
+	Failed    int `json:"failed"`    // reached "failed" or "canceled"
+	Deduped   int `json:"deduped"`   // coalesced onto a live identical job
+	Cached    int `json:"cached"`    // answered from the persistent cache
+	Rejected  int `json:"rejected"`  // 429 responses absorbed (each was retried)
+	Distinct  int `json:"distinct"`  // distinct cache keys in the mix
+
+	ElapsedS   float64 `json:"elapsed_s"`
+	JobsPerSec float64 `json:"jobs_per_sec"` // Completed / ElapsedS
+
+	LatencyP50S float64 `json:"latency_p50_s"`
+	LatencyP90S float64 `json:"latency_p90_s"`
+	LatencyP99S float64 `json:"latency_p99_s"`
+}
+
+// DefaultMix builds a deterministic mixed workload of n job configs
+// walking the benchmark × policy grid (the same combinations the
+// examples/ drivers exercise), with every tenth job requesting a trace.
+// All configs share one instruction budget and scale so the server needs
+// exactly one baseline family. n larger than the grid wraps around,
+// which adds intra-mix duplicates on top of replay duplicates.
+func DefaultMix(n int, insts uint64, scale string) []JobConfig {
+	benches := trace.BenchmarkNames()
+	policies := []string{"hyb", "dvs", "fg", "pi-hyb", "clockgate", "fg-fixed"}
+	out := make([]JobConfig, 0, n)
+	for i := 0; i < n; i++ {
+		jc := JobConfig{
+			Benchmark:    benches[i%len(benches)],
+			Policy:       policies[(i/len(benches))%len(policies)],
+			Instructions: insts,
+			Scale:        scale,
+			IdealDVS:     (i/(len(benches)*len(policies)))%2 == 1,
+			Trace:        i%10 == 0,
+		}
+		out = append(out, jc.Normalize())
+	}
+	return out
+}
+
+// LoadJobsFile reads a JSONL file of job configs (one JSON object per
+// line, blank lines ignored) — the format of examples/serve/jobs.jsonl.
+func LoadJobsFile(path string) ([]JobConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []JobConfig
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		jc, err := ParseJobConfig(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, i+1, err)
+		}
+		out = append(out, jc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no job configs", path)
+	}
+	return out, nil
+}
+
+// Replay runs the load: spec.Total submissions fanned over spec.Clients
+// concurrent clients, each submission polled to a terminal state. It
+// returns the aggregate report; the only errors are harness-level ones
+// (unreachable server, invalid mix) — per-job failures are counted, not
+// returned, so callers can assert Failed == 0 explicitly.
+func Replay(ctx context.Context, spec LoadSpec) (LoadReport, error) {
+	if len(spec.Jobs) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: loadgen: empty job mix")
+	}
+	if spec.Total <= 0 {
+		spec.Total = len(spec.Jobs)
+	}
+	if spec.Clients <= 0 {
+		spec.Clients = 8
+	}
+	if spec.Poll <= 0 {
+		spec.Poll = 5 * time.Millisecond
+	}
+	client := spec.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	keys := make(map[string]bool)
+	bodies := make([][]byte, len(spec.Jobs))
+	for i, jc := range spec.Jobs {
+		key, err := jc.Key()
+		if err != nil {
+			return LoadReport{}, fmt.Errorf("serve: loadgen: job %d: %w", i, err)
+		}
+		keys[key] = true
+		if bodies[i], err = json.Marshal(jc); err != nil {
+			return LoadReport{}, fmt.Errorf("serve: loadgen: job %d: %w", i, err)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		report    = LoadReport{Total: spec.Total, Distinct: len(keys)}
+		latencies = make([]float64, 0, spec.Total)
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(spec.Clients)
+	for c := 0; c < spec.Clients; c++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				sub, rejected, err := submitOne(ctx, client, spec.BaseURL, bodies[i%len(spec.Jobs)])
+				if err != nil {
+					fail(err)
+					return
+				}
+				state := sub.State
+				if state != StateDone && state != StateFailed && state != StateCanceled {
+					state, err = pollJob(ctx, client, spec.BaseURL, sub.ID, spec.Poll)
+					if err != nil {
+						fail(err)
+						return
+					}
+				}
+				mu.Lock()
+				report.Rejected += rejected
+				if sub.Deduped {
+					report.Deduped++
+				}
+				if sub.Cached {
+					report.Cached++
+				}
+				if state == StateDone {
+					report.Completed++
+					latencies = append(latencies, time.Since(t0).Seconds())
+				} else {
+					report.Failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := 0; i < spec.Total; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if firstErr != nil {
+		return LoadReport{}, firstErr
+	}
+	report.ElapsedS = elapsed.Seconds()
+	if report.ElapsedS > 0 {
+		report.JobsPerSec = float64(report.Completed) / report.ElapsedS
+	}
+	if len(latencies) > 0 {
+		ps, err := stats.Percentiles(latencies, []float64{50, 90, 99})
+		if err != nil {
+			return LoadReport{}, err
+		}
+		report.LatencyP50S, report.LatencyP90S, report.LatencyP99S = ps[0], ps[1], ps[2]
+	}
+	return report, nil
+}
+
+// submitOne POSTs a config, absorbing 429 backpressure with the server's
+// Retry-After hint (capped so a synthetic harness does not sleep through
+// its own run). Returns the accepted submission and how many rejections
+// were absorbed along the way.
+func submitOne(ctx context.Context, client *http.Client, base string, body []byte) (submitResponse, int, error) {
+	rejected := 0
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return submitResponse{}, rejected, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return submitResponse{}, rejected, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return submitResponse{}, rejected, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusCreated, http.StatusAccepted:
+			var sub submitResponse
+			if err := json.Unmarshal(data, &sub); err != nil {
+				return submitResponse{}, rejected, fmt.Errorf("serve: loadgen: submit response: %w", err)
+			}
+			return sub, rejected, nil
+		case http.StatusTooManyRequests:
+			rejected++
+			delay := 50 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second
+			}
+			if delay > 250*time.Millisecond {
+				delay = 250 * time.Millisecond
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return submitResponse{}, rejected, ctx.Err()
+			}
+		default:
+			return submitResponse{}, rejected,
+				fmt.Errorf("serve: loadgen: submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+	}
+}
+
+// pollJob GETs the job status until it reaches a terminal state, backing
+// off geometrically from the initial interval.
+func pollJob(ctx context.Context, client *http.Client, base, id string, poll time.Duration) (string, error) {
+	maxPoll := 50 * poll
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return "", err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("serve: loadgen: status %s: HTTP %d: %s", id, resp.StatusCode, bytes.TrimSpace(data))
+		}
+		var st statusResponse
+		if err := json.Unmarshal(data, &st); err != nil {
+			return "", fmt.Errorf("serve: loadgen: status %s: %w", id, err)
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st.State, nil
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+		if poll *= 2; poll > maxPoll {
+			poll = maxPoll
+		}
+	}
+}

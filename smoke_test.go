@@ -44,6 +44,10 @@ func TestSmokeBinaries(t *testing.T) {
 		{"dtmreport", "dtmreport", []string{"-o", "-",
 			filepath.Join("internal", "report", "testdata", "golden_input"),
 			filepath.Join("internal", "core", "testdata")}},
+		{"dtmserve-loadgen", "dtmserve", []string{"-loadgen", "-n", "20", "-clients", "4",
+			"-mix", "4", "-insts", "100000", "-scale", "smoke", "-quiet"}},
+		{"dtmserve-jobsfile", "dtmserve", []string{"-loadgen", "-clients", "4", "-quiet",
+			"-jobs", filepath.Join("examples", "serve", "jobs.jsonl")}},
 		{"hotspot", "hotspot", []string{"-power", "30"}},
 		{"tracegen", "tracegen", []string{"-bench", "gzip", "-n", "1000", "-o", filepath.Join(dir, "gzip.trc")}},
 		{"quickstart", "quickstart", []string{"-insts", "200000", "-quick"}},
@@ -57,7 +61,7 @@ func TestSmokeBinaries(t *testing.T) {
 	for _, tc := range cases {
 		covered[tc.bin] = true
 	}
-	for _, name := range []string{"dtmsim", "experiments", "dtmreport", "hotspot", "tracegen",
+	for _, name := range []string{"dtmsim", "dtmserve", "experiments", "dtmreport", "hotspot", "tracegen",
 		"quickstart", "crossover", "proactive", "thermalmap", "customfloorplan"} {
 		if !covered[name] {
 			t.Fatalf("binary %s missing from smoke cases", name)
