@@ -16,6 +16,8 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,6 +98,18 @@ func DefaultLatencyBuckets() []float64 {
 	return bounds
 }
 
+// DefaultSizeBuckets spans 64 B .. 1 GiB in ×4 steps — the boundaries for
+// response-size style histograms.
+func DefaultSizeBuckets() []float64 {
+	bounds := make([]float64, 13)
+	b := 64.0
+	for i := range bounds {
+		bounds[i] = b
+		b *= 4
+	}
+	return bounds
+}
+
 func newHistogram(bounds []float64) *Histogram {
 	h := &Histogram{
 		bounds: append([]float64(nil), bounds...),
@@ -171,6 +185,21 @@ func (h *Histogram) Min() float64 { return math.Float64frombits(h.min.Load()) }
 // Max returns the largest observation (-Inf with no data).
 func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
 
+// Buckets returns a point-in-time copy of the histogram's upper bounds
+// and per-bucket (non-cumulative) counts. counts has one more entry than
+// bounds: the implicit +Inf overflow bucket. Because each bucket is read
+// with its own atomic load, the copy is only approximately consistent
+// under concurrent Observe — fine for dashboards and exposition, which is
+// all it feeds.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	bounds = append([]float64(nil), h.bounds...)
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
 // Registry is a named collection of metrics. Get-or-create accessors are
 // safe for concurrent use; two callers asking for the same name share the
 // same metric. A name registered as one kind must not be re-requested as
@@ -221,13 +250,24 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return lookup(r, name, func() *Histogram { return newHistogram(DefaultLatencyBuckets()) })
 }
 
+// HistogramWith returns the named histogram, creating it on first use
+// with the given fixed upper bounds (ascending). Boundaries are fixed at
+// registration: a later caller asking for the same name gets the existing
+// histogram whatever bounds it passes, so every accessor of a shared
+// metric sees one consistent bucket layout.
+func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
+	return lookup(r, name, func() *Histogram { return newHistogram(bounds) })
+}
+
 // Sample is one metric's point-in-time reading.
 type Sample struct {
 	Name  string
 	Kind  string  // "counter", "float", "gauge", "histogram"
 	Value float64 // count for counters, value for gauges, count for histograms
-	// Histogram extras (zero otherwise).
-	Sum, Mean, P50, P90, Max float64
+	// Histogram extras (zero otherwise; the quantiles are NaN with no
+	// observations — callers rendering for humans should say "no data
+	// yet" rather than print them).
+	Sum, Mean, P50, P90, P99, Max float64
 }
 
 // Snapshot returns all metrics sorted by name.
@@ -247,7 +287,7 @@ func (r *Registry) Snapshot() []Sample {
 		case *Histogram:
 			s.Kind, s.Value = "histogram", float64(v.Count())
 			s.Sum, s.Mean = v.Sum(), v.Mean()
-			s.P50, s.P90 = v.Quantile(0.50), v.Quantile(0.90)
+			s.P50, s.P90, s.P99 = v.Quantile(0.50), v.Quantile(0.90), v.Quantile(0.99)
 			s.Max = v.Max()
 		}
 		out = append(out, s)
@@ -264,8 +304,15 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 	}
 	for _, s := range snap {
 		detail := ""
-		if s.Kind == "histogram" && s.Value > 0 {
-			detail = fmt.Sprintf("mean %.3gs p50 %.3gs p90 %.3gs max %.3gs", s.Mean, s.P50, s.P90, s.Max)
+		if s.Kind == "histogram" {
+			// An empty histogram has NaN quantiles; say so instead of
+			// printing fake zeros (or NaNs) a scraper might gate on.
+			if s.Value > 0 {
+				detail = fmt.Sprintf("mean %.3gs p50 %.3gs p90 %.3gs p99 %.3gs max %.3gs",
+					s.Mean, s.P50, s.P90, s.P99, s.Max)
+			} else {
+				detail = "no data yet"
+			}
 		}
 		if _, err := fmt.Fprintf(w, "%-28s %-9s %14.6g  %s\n", s.Name, s.Kind, s.Value, detail); err != nil {
 			return err
@@ -274,9 +321,77 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 	return nil
 }
 
+// promName rewrites a metric name into the Prometheus exposition
+// alphabet [a-zA-Z0-9_:] (dots become underscores, anything else exotic
+// likewise; a leading digit gains an underscore prefix).
+func promName(name string) string {
+	var b strings.Builder
+	if len(name) > 0 && name[0] >= '0' && name[0] <= '9' {
+		b.WriteByte('_')
+	}
+	for _, c := range name {
+		valid := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9')
+		if valid {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value for the exposition format. NaN (empty
+// histogram quantiles) and ±Inf are legal Prometheus values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Counters and float counters export as
+// `counter`, gauges as `gauge`, and histograms as `summary` documents
+// carrying the p50/p90/p99 quantiles the table view shows plus the exact
+// _sum and _count — quantiles of an empty histogram export as NaN, the
+// format's "no data" value. Metric names have their dots rewritten to
+// underscores (serve.job_s → serve_job_s).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		name := promName(s.Name)
+		var err error
+		switch s.Kind {
+		case "counter", "float":
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, promFloat(s.Value))
+		case "gauge":
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(s.Value))
+		case "histogram":
+			_, err = fmt.Fprintf(w, "# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.9\"} %s\n%s{quantile=\"0.99\"} %s\n%s_sum %s\n%s_count %s\n",
+				name,
+				name, promFloat(s.P50),
+				name, promFloat(s.P90),
+				name, promFloat(s.P99),
+				name, promFloat(s.Sum),
+				name, promFloat(s.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Handler returns an HTTP handler exposing the registry: a plain-text
-// summary at "/" and "/metrics", a JSON map at "/metrics.json", and the
-// process's expvar variables at "/debug/vars".
+// summary at "/" and "/metrics", the Prometheus text exposition at
+// "/metrics.prom", a JSON map at "/metrics.json", and the process's
+// expvar variables at "/debug/vars".
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	text := func(w http.ResponseWriter, _ *http.Request) {
@@ -285,6 +400,10 @@ func (r *Registry) Handler() http.Handler {
 	}
 	mux.HandleFunc("/", text)
 	mux.HandleFunc("/metrics", text)
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //dtmlint:allow errsink HTTP response write; delivery failures surface to the client, not the run
+	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprint(w, "{")
@@ -364,6 +483,15 @@ const (
 	MetricServeQueueDepth  = "serve.queue_depth"   // gauge: jobs queued but not yet running
 	MetricServeActive      = "serve.active_jobs"   // gauge: jobs currently simulating
 	MetricServeJobSeconds  = "serve.job_s"         // histogram: submission-to-completion latency
+
+	// Serving-observability histograms (fixed boundaries; see DESIGN.md
+	// "Serving observability"). All are recorded whether or not span
+	// tracing is enabled — each costs a handful of atomic ops per job or
+	// request, not a per-event copy.
+	MetricServeQueueWait = "serve.queue_wait_s"   // histogram: submit→worker-pickup wait
+	MetricServeRunSecs   = "serve.run_s"          // histogram: worker-pickup→simulation-done
+	MetricServeTraceTTFB = "serve.trace_ttfb_s"   // histogram: trace GET→first streamed byte
+	MetricServeRespBytes = "serve.response_bytes" // histogram: HTTP response body sizes
 )
 
 // MetricsTracer adapts a Registry to the Tracer interface: it folds the

@@ -243,6 +243,32 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
+// Snapshot returns the run metadata and a deep copy of the retained
+// events, oldest first. Unlike Events, the copy shares no storage with
+// the ring (the per-event Temps/Power/Readings slices are duplicated), so
+// it stays valid — and race-free — while the simulator keeps emitting.
+// It is the accessor for concurrent readers like the serve dashboard.
+func (r *Ring) Snapshot() (Meta, []Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ordered []Event
+	if !r.full {
+		ordered = r.buf[:r.next]
+	} else {
+		ordered = make([]Event, 0, len(r.buf))
+		ordered = append(ordered, r.buf[r.next:]...)
+		ordered = append(ordered, r.buf[:r.next]...)
+	}
+	out := make([]Event, len(ordered))
+	for i := range ordered {
+		out[i] = ordered[i]
+		out[i].Temps = append([]float64(nil), ordered[i].Temps...)
+		out[i].Power = append([]float64(nil), ordered[i].Power...)
+		out[i].Readings = append([]float64(nil), ordered[i].Readings...)
+	}
+	return r.meta, out
+}
+
 // Drain replays the retained events, oldest first, into another tracer
 // (typically a sink) bracketed by Begin/End.
 func (r *Ring) Drain(t Tracer) {

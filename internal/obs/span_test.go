@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanIDDeterministic(t *testing.T) {
+	a := SpanID("trace-1", "run")
+	b := SpanID("trace-1", "run")
+	if a != b {
+		t.Fatalf("SpanID not deterministic: %q vs %q", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("SpanID length = %d, want 16 hex chars", len(a))
+	}
+	if SpanID("trace-1", "persist") == a {
+		t.Fatalf("distinct stages share a span id")
+	}
+	if SpanID("trace-2", "run") == a {
+		t.Fatalf("distinct traces share a span id")
+	}
+}
+
+func TestSpanSetLifecycle(t *testing.T) {
+	epoch := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	at := func(s int) time.Time { return epoch.Add(time.Duration(s) * time.Second) }
+
+	ss := NewSpanSet("k123", epoch)
+	ss.Begin("job", "", at(0))
+	ss.Record("submit", "job", at(0), at(2))
+	ss.Record("validate", "submit", at(0), at(1))
+	ss.Begin("queue_wait", "job", at(2))
+	ss.End("queue_wait", at(5))
+	ss.Begin("run", "job", at(5))
+
+	spans := ss.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["job"].Parent != "" {
+		t.Errorf("root parent = %q, want empty", byName["job"].Parent)
+	}
+	if byName["submit"].Parent != byName["job"].ID {
+		t.Errorf("submit parent = %q, want job id %q", byName["submit"].Parent, byName["job"].ID)
+	}
+	if byName["validate"].Parent != byName["submit"].ID {
+		t.Errorf("validate parent = %q, want submit id %q", byName["validate"].Parent, byName["submit"].ID)
+	}
+	if d := byName["queue_wait"].Duration(); d != 3 {
+		t.Errorf("queue_wait duration = %v, want 3", d)
+	}
+	if open := byName["run"]; open.EndS != 0 || open.Duration() != 0 {
+		t.Errorf("open span should have EndS 0 and zero duration, got %+v", open)
+	}
+
+	// End of an unknown stage and re-Begin of a known one are no-ops.
+	ss.End("persist", at(9))
+	ss.Begin("job", "", at(9))
+	if got := len(ss.Spans()); got != 5 {
+		t.Fatalf("no-op operations changed the span count to %d", got)
+	}
+
+	// End before start clamps rather than going negative.
+	ss2 := NewSpanSet("k", epoch)
+	ss2.Begin("a", "", at(3))
+	ss2.End("a", at(1))
+	if sp := ss2.Spans()[0]; sp.EndS != sp.StartS {
+		t.Errorf("backwards end should clamp to start, got %+v", sp)
+	}
+}
+
+func TestSpanAppendJSONL(t *testing.T) {
+	epoch := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	ss := NewSpanSet("feedbeef", epoch)
+	ss.Record("job", "", epoch, epoch.Add(1500*time.Millisecond))
+	var buf []byte
+	for _, sp := range ss.Spans() {
+		buf = sp.AppendJSONL(buf)
+	}
+	got := string(buf)
+	want := `{"ev":"span","trace":"feedbeef","id":"` + SpanID("feedbeef", "job") +
+		`","parent":"","name":"job","start_s":0,"end_s":1.5}` + "\n"
+	if got != want {
+		t.Errorf("JSONL drifted:\n got %q\nwant %q", got, want)
+	}
+	if !strings.HasSuffix(got, "\n") {
+		t.Errorf("JSONL record must end in a newline")
+	}
+}

@@ -1,0 +1,81 @@
+// Live summarization: the dashboard's in-memory twin of ReadTrace. The
+// serve layer keeps a bounded obs.Ring per running job; SummarizeEvents
+// folds that ring's retained tail into the same TraceSummary the batch
+// reader produces from a JSONL artifact, so the dashboard renders a
+// running job with exactly the timeline/residency code dtmreport uses on
+// finished ones. The two aggregations must stay in lockstep — any new
+// residency bucket belongs in both (TestSummarizeEventsMatchesReadTrace
+// pins the equivalence).
+package report
+
+import "hybriddtm/internal/obs"
+
+// SummarizeEvents aggregates an in-memory event slice (typically an
+// obs.Ring snapshot) into a TraceSummary. Events holds the count of the
+// slice actually summarized; callers holding a ring should overwrite it
+// with Ring.Total() when they want the whole-run figure.
+func SummarizeEvents(meta obs.Meta, events []obs.Event, name string) TraceSummary {
+	sum := TraceSummary{
+		File:      name,
+		Schema:    obs.SchemaVersion,
+		Benchmark: meta.Benchmark,
+		Policy:    meta.Policy,
+		Blocks:    meta.Blocks,
+		Trigger:   meta.Trigger,
+		Emergency: meta.Emergency,
+		Events:    int64(len(events)),
+	}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case obs.KindStep:
+			sum.Points = append(sum.Points, TracePoint{
+				T: ev.Time, MaxTemp: ev.MaxTemp, Gate: ev.GateFrac, Level: ev.Level,
+			})
+			sum.Duration += ev.Dt
+			if ev.MaxTemp > sum.Trigger {
+				sum.AboveTrigger += ev.Dt
+			}
+			if ev.GateFrac > 0 {
+				sum.Gated += ev.Dt
+			}
+			if ev.Level > 0 {
+				sum.LowV += ev.Dt
+			}
+			if ev.ClockStop {
+				sum.ClockStopped += ev.Dt
+			}
+			if ev.Stalled {
+				sum.Stalled += ev.Dt
+			}
+		case obs.KindActuation:
+			if ev.SwitchStarted {
+				sum.DVSSwitches++
+			}
+		case obs.KindCrossing:
+			if ev.Above {
+				switch ev.Threshold {
+				case "trigger":
+					sum.TriggerCrossings++
+				case "emergency":
+					sum.EmergencyUp++
+				}
+			}
+		}
+	}
+	sum.Points = downsample(sum.Points, maxTimelinePoints)
+	return sum
+}
+
+// downsample strides points down to at most limit samples.
+func downsample(points []TracePoint, limit int) []TracePoint {
+	if len(points) <= limit {
+		return points
+	}
+	stride := (len(points) + limit - 1) / limit
+	kept := points[:0]
+	for i := 0; i < len(points); i += stride {
+		kept = append(kept, points[i])
+	}
+	return kept
+}

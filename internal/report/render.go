@@ -150,38 +150,48 @@ func traceSection(tr TraceSummary) section {
 	)
 	sec.Tables = append(sec.Tables, res, sw)
 
-	if len(tr.Points) > 1 {
-		xs := make([]float64, len(tr.Points))
-		temps := make([]float64, len(tr.Points))
-		gates := make([]float64, len(tr.Points))
-		levels := make([]float64, len(tr.Points))
-		for i, p := range tr.Points {
-			xs[i] = p.T * 1e3 // ms reads better at simulation scale
-			temps[i] = p.MaxTemp
-			gates[i] = p.Gate
-			levels[i] = float64(p.Level)
-		}
-		thermal := chart{
-			Title:  fmt.Sprintf("%s / %s: hottest block temperature", tr.Benchmark, tr.Policy),
-			XLabel: "simulated time (ms)", YLabel: "°C",
-			Series: []series{{Name: "max temp", Color: colorTemp, X: xs, Y: temps}},
-			HLines: []hline{
-				{Name: "trigger", Color: colorTrigger, Y: tr.Trigger},
-				{Name: "emergency", Color: colorEmergency, Y: tr.Emergency},
-			},
-		}
-		actuate := chart{
-			Title:  fmt.Sprintf("%s / %s: actuator state", tr.Benchmark, tr.Policy),
-			XLabel: "simulated time (ms)", YLabel: "gate / level",
-			H: 160,
-			Series: []series{
-				{Name: "gate fraction", Color: colorGate, X: xs, Y: gates},
-				{Name: "V/f level", Color: colorLevel, X: xs, Y: levels},
-			},
-		}
-		sec.SVGs = append(sec.SVGs, thermal.SVG(), actuate.SVG())
-	}
+	sec.SVGs = append(sec.SVGs, TimelineSVGs(tr)...)
 	return sec
+}
+
+// TimelineSVGs renders a summary's thermal and actuator timelines as two
+// self-contained SVG documents (nil with fewer than two samples). It is
+// exported for the serve dashboard, which feeds it live ring-buffer
+// summaries; dtmreport's HTML view uses the identical rendering, so a
+// running job's chart matches its eventual report byte for byte.
+func TimelineSVGs(tr TraceSummary) []string {
+	if len(tr.Points) < 2 {
+		return nil
+	}
+	xs := make([]float64, len(tr.Points))
+	temps := make([]float64, len(tr.Points))
+	gates := make([]float64, len(tr.Points))
+	levels := make([]float64, len(tr.Points))
+	for i, p := range tr.Points {
+		xs[i] = p.T * 1e3 // ms reads better at simulation scale
+		temps[i] = p.MaxTemp
+		gates[i] = p.Gate
+		levels[i] = float64(p.Level)
+	}
+	thermal := chart{
+		Title:  fmt.Sprintf("%s / %s: hottest block temperature", tr.Benchmark, tr.Policy),
+		XLabel: "simulated time (ms)", YLabel: "°C",
+		Series: []series{{Name: "max temp", Color: colorTemp, X: xs, Y: temps}},
+		HLines: []hline{
+			{Name: "trigger", Color: colorTrigger, Y: tr.Trigger},
+			{Name: "emergency", Color: colorEmergency, Y: tr.Emergency},
+		},
+	}
+	actuate := chart{
+		Title:  fmt.Sprintf("%s / %s: actuator state", tr.Benchmark, tr.Policy),
+		XLabel: "simulated time (ms)", YLabel: "gate / level",
+		H: 160,
+		Series: []series{
+			{Name: "gate fraction", Color: colorGate, X: xs, Y: gates},
+			{Name: "V/f level", Color: colorLevel, X: xs, Y: levels},
+		},
+	}
+	return []string{thermal.SVG(), actuate.SVG()}
 }
 
 // comparisonSection renders the figure reproductions plus their envelope

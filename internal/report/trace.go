@@ -158,14 +158,7 @@ func ReadTrace(r io.Reader, name string) (TraceSummary, error) {
 		// we saw.
 		sum.Events = events
 	}
-	if len(sum.Points) > maxTimelinePoints {
-		stride := (len(sum.Points) + maxTimelinePoints - 1) / maxTimelinePoints
-		kept := sum.Points[:0]
-		for i := 0; i < len(sum.Points); i += stride {
-			kept = append(kept, sum.Points[i])
-		}
-		sum.Points = kept
-	}
+	sum.Points = downsample(sum.Points, maxTimelinePoints)
 	return sum, nil
 }
 

@@ -19,6 +19,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hybriddtm/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite golden API responses")
@@ -40,7 +42,7 @@ func testClock() func() time.Time {
 }
 
 // contractServer builds the deterministic server the contract script runs
-// against: 1 worker, queue depth 1, gated, frozen clock.
+// against: 1 worker, queue depth 1, gated, frozen clock, span tracing on.
 func contractServer(t *testing.T) (*Server, *httptest.Server, chan struct{}) {
 	t.Helper()
 	gate := make(chan struct{})
@@ -50,12 +52,16 @@ func contractServer(t *testing.T) (*Server, *httptest.Server, chan struct{}) {
 		CacheDir:        t.TempDir(),
 		MaxInstructions: 1_000_000,
 		RetryAfter:      7 * time.Second,
+		Spans:           true,
 		gate:            gate,
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	srv.now = testClock()
+	// Pin uptime's anchor to the stepping clock's base so /healthz and the
+	// dashboard report deterministic uptimes.
+	srv.started = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {
@@ -252,6 +258,14 @@ func TestContract(t *testing.T) {
 		t.Errorf("streamed trace differs from cache artifact (%d vs %d bytes)", len(body), len(artifact))
 	}
 
+	// --- lifecycle spans: the full 7-stage trace with parent links ---
+	resp, body = do(t, http.MethodGet, base+"/v1/jobs/j-000001/spans", "")
+	checkGolden(t, "spans_done", resp, body)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("spans Content-Type = %q, want application/x-ndjson", ct)
+	}
+	assertSpanLifecycle(t, body)
+
 	// --- the panoramic endpoints ---
 	resp, body = do(t, http.MethodGet, base+"/v1/jobs", "")
 	checkGolden(t, "list", resp, body)
@@ -267,6 +281,48 @@ func TestContract(t *testing.T) {
 	for _, metric := range []string{"serve.jobs_done", "serve.deduped", "serve.rejected"} {
 		if !bytes.Contains(body, []byte(metric)) {
 			t.Errorf("/metrics missing %s:\n%s", metric, body)
+		}
+	}
+}
+
+// assertSpanLifecycle checks a spans response carries the full 7-stage
+// lifecycle (submit, validate, lookup, queue_wait, run, persist, respond)
+// under one root, with deterministic ids and consistent parent links.
+func assertSpanLifecycle(t *testing.T, body []byte) {
+	t.Helper()
+	spans := map[string]obs.Span{}
+	for i, line := range bytes.Split(bytes.TrimRight(body, "\n"), []byte("\n")) {
+		var sp obs.Span
+		if err := json.Unmarshal(line, &sp); err != nil {
+			t.Fatalf("span line %d: %v: %q", i+1, err, line)
+		}
+		spans[sp.Name] = sp
+	}
+	root, ok := spans["job"]
+	if !ok || root.Parent != "" {
+		t.Fatalf("missing root span or root has a parent: %+v", spans)
+	}
+	parents := map[string]string{
+		"submit": "job", "validate": "submit", "lookup": "submit",
+		"respond": "submit", "queue_wait": "job", "run": "job", "persist": "job",
+	}
+	if len(spans) != len(parents)+1 {
+		t.Errorf("got %d spans, want root + %d stages: %v", len(spans), len(parents), spans)
+	}
+	for name, parent := range parents {
+		sp, ok := spans[name]
+		if !ok {
+			t.Errorf("lifecycle stage %q missing", name)
+			continue
+		}
+		if sp.ID != obs.SpanID(sp.Trace, name) {
+			t.Errorf("stage %q id %q is not content-derived", name, sp.ID)
+		}
+		if want := obs.SpanID(sp.Trace, parent); sp.Parent != want {
+			t.Errorf("stage %q parent = %q, want %s's id %q", name, sp.Parent, parent, want)
+		}
+		if sp.EndS <= 0 || sp.EndS < sp.StartS {
+			t.Errorf("stage %q not closed or runs backwards: %+v", name, sp)
 		}
 	}
 }
@@ -297,6 +353,7 @@ func TestContractCanceledResult(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	srv.now = testClock()
+	srv.started = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -330,6 +387,10 @@ func TestContractCanceledResult(t *testing.T) {
 	checkGolden(t, "status_canceled", resp, body)
 	resp, body = do(t, http.MethodGet, ts.URL+"/v1/jobs/j-000002/result", "")
 	checkGolden(t, "result_canceled", resp, body)
+
+	// Span tracing is off on this server: the endpoint says so.
+	resp, body = do(t, http.MethodGet, ts.URL+"/v1/jobs/j-000002/spans", "")
+	checkGolden(t, "spans_disabled", resp, body)
 
 	// While draining: health reports 503 and submissions bounce.
 	resp, body = do(t, http.MethodGet, ts.URL+"/healthz", "")

@@ -1,0 +1,155 @@
+// Dashboard goldens: the HTML dashboard pinned byte-for-byte under the
+// frozen stepping clock, plus the SSE stream's frame contract. The
+// script avoids HTTP status polling on purpose — every HTTP response
+// feeds the serve.response_bytes histogram, so a poll loop of
+// nondeterministic length would smear the histogram counts the golden
+// displays. WaitJob (in-process, no HTTP) replaces polling.
+// Regenerate with: go test ./internal/serve -run TestDashboard -update
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDashboardGolden(t *testing.T) {
+	srv, ts, gate := contractServer(t)
+	base := ts.URL
+
+	// Empty server first: every section renders its "no data yet" shape.
+	resp, body := do(t, http.MethodGet, base+"/v1/dashboard", "")
+	checkGolden(t, "dashboard_empty", resp, body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("dashboard Content-Type = %q, want text/html", ct)
+	}
+
+	// One traced job runs to completion (gate released before WaitJob).
+	resp, body = do(t, http.MethodPost, base+"/v1/jobs",
+		`{"benchmark": "art", "policy": "hyb", "instructions": 100000, "scale": "smoke", "trace": true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	gate <- struct{}{}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.WaitJob(waitCtx, "j-000001"); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+
+	resp, body = do(t, http.MethodGet, base+"/v1/dashboard", "")
+	checkGolden(t, "dashboard_done", resp, body)
+	for _, want := range []string{
+		"serve.queue_wait_s", "serve.run_s", "<polyline", // histograms + sparkline
+		"j-000001", "art", "hyb", // job table
+		"hottest block temperature", "actuator state", // ring timelines
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+
+	// Byte-stability across runs is what the golden enforces; additionally
+	// check two back-to-back renders only differ where they must: the
+	// uptime line (each render consumes one clock tick) and the
+	// serve.response_bytes row (the first render's own response feeds it).
+	_, again := do(t, http.MethodGet, base+"/v1/dashboard", "")
+	aLines, bLines := strings.Split(string(body), "\n"), strings.Split(string(again), "\n")
+	if len(aLines) != len(bLines) {
+		t.Fatalf("re-render changed line count: %d vs %d", len(aLines), len(bLines))
+	}
+	for i := range aLines {
+		if aLines[i] != bLines[i] &&
+			!strings.Contains(aLines[i], "up ") &&
+			!strings.Contains(aLines[i], "serve.response_bytes") {
+			t.Errorf("re-render changed an unexpected line:\n-%s\n+%s", aLines[i], bLines[i])
+		}
+	}
+}
+
+func TestDashboardStreamSSE(t *testing.T) {
+	_, ts, _ := contractServer(t) // nothing runs; cleanup closes the gate
+
+	resp, err := http.Get(ts.URL + "/v1/dashboard/stream?count=2&interval_ms=1")
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	frames := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "" || line == "event: state":
+		case strings.HasPrefix(line, "data: "):
+			frames++
+			var st dashboardState
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+				t.Fatalf("frame %d: %v: %q", frames, err, line)
+			}
+			if st.Status != "ok" || st.Workers != 1 || st.QueueCap != 1 {
+				t.Errorf("frame %d: unexpected state %+v", frames, st)
+			}
+			if st.UptimeS <= 0 {
+				t.Errorf("frame %d: uptime %g, want > 0 under the stepping clock", frames, st.UptimeS)
+			}
+		default:
+			t.Errorf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if frames != 2 {
+		t.Errorf("got %d frames, want exactly 2 (count=2)", frames)
+	}
+}
+
+func TestHealthOccupancy(t *testing.T) {
+	srv, ts, gate := contractServer(t)
+
+	resp, body := do(t, http.MethodPost, ts.URL+"/v1/jobs",
+		`{"benchmark": "gcc", "policy": "dvs", "instructions": 100000, "scale": "smoke"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	pollState(t, ts.URL, "j-000001", StateRunning)
+
+	_, body = do(t, http.MethodGet, ts.URL+"/healthz", "")
+	var h struct {
+		Status   string  `json:"status"`
+		UptimeS  float64 `json:"uptime_s"`
+		Workers  int     `json:"workers"`
+		QueueCap int     `json:"queue_capacity"`
+		Queued   int     `json:"queued"`
+		Active   int     `json:"active"`
+		Jobs     int     `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz: %v: %s", err, body)
+	}
+	if h.Status != "ok" || h.Workers != 1 || h.QueueCap != 1 {
+		t.Errorf("healthz capacity fields wrong: %+v", h)
+	}
+	if h.Active != 1 || h.Jobs != 1 {
+		t.Errorf("healthz occupancy wrong with one held job: %+v", h)
+	}
+	if h.UptimeS <= 0 {
+		t.Errorf("healthz uptime %g, want > 0", h.UptimeS)
+	}
+
+	gate <- struct{}{}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.WaitJob(waitCtx, "j-000001"); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+}

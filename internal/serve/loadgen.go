@@ -54,9 +54,14 @@ type LoadReport struct {
 	ElapsedS   float64 `json:"elapsed_s"`
 	JobsPerSec float64 `json:"jobs_per_sec"` // Completed / ElapsedS
 
-	LatencyP50S float64 `json:"latency_p50_s"`
-	LatencyP90S float64 `json:"latency_p90_s"`
-	LatencyP99S float64 `json:"latency_p99_s"`
+	// LatencySamples counts the completions behind the percentiles below.
+	// When it is 0 the percentile fields are meaningless (there was
+	// nothing to measure) and consumers must not treat them as p99=0 —
+	// cmd/dtmserve skips the snapshot metrics entirely in that case.
+	LatencySamples int     `json:"latency_samples"`
+	LatencyP50S    float64 `json:"latency_p50_s"`
+	LatencyP90S    float64 `json:"latency_p90_s"`
+	LatencyP99S    float64 `json:"latency_p99_s"`
 }
 
 // DefaultMix builds a deterministic mixed workload of n job configs
@@ -218,7 +223,11 @@ feed:
 	if report.ElapsedS > 0 {
 		report.JobsPerSec = float64(report.Completed) / report.ElapsedS
 	}
-	if len(latencies) > 0 {
+	// stats.Percentiles rejects empty input with ErrEmpty rather than
+	// fabricating zeros; record how many samples back the figures so
+	// downstream consumers can tell "fast" from "never measured".
+	report.LatencySamples = len(latencies)
+	if report.LatencySamples > 0 {
 		ps, err := stats.Percentiles(latencies, []float64{50, 90, 99})
 		if err != nil {
 			return LoadReport{}, err

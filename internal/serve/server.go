@@ -11,8 +11,11 @@
 //	GET  /v1/jobs/{id}         job status
 //	GET  /v1/jobs/{id}/result  the measurement (409 until done, 404 unknown)
 //	GET  /v1/jobs/{id}/trace   the run's JSONL event stream (jobs submitted with "trace": true)
-//	GET  /healthz              liveness (503 while draining)
-//	GET  /metrics              the obs registry (text; /metrics.json for JSON)
+//	GET  /v1/jobs/{id}/spans   the job's lifecycle spans as JSONL (servers with Spans enabled)
+//	GET  /v1/dashboard         live HTML dashboard: jobs, occupancy, histograms, thermal timelines
+//	GET  /v1/dashboard/stream  SSE stream of the dashboard state (text/event-stream)
+//	GET  /healthz              liveness + occupancy/uptime (503 while draining)
+//	GET  /metrics              the obs registry (text; /metrics.json for JSON, /metrics.prom for Prometheus)
 //
 // Backpressure is explicit: the submission queue is bounded, and a full
 // queue sheds load with 429 plus a Retry-After hint rather than growing
@@ -67,6 +70,14 @@ type Config struct {
 	Metrics *obs.Registry
 	// Logger, when non-nil, receives structured request/job logs.
 	Logger *slog.Logger
+	// Spans enables per-job lifecycle span tracing and the per-job event
+	// ring buffers behind the dashboard's thermal timelines. Off by
+	// default: the hot path then pays nothing beyond the always-on
+	// histogram atomics, preserving the zero-allocation loop contract.
+	Spans bool
+	// DashboardEvents bounds each running job's in-memory event ring when
+	// Spans is enabled. Default: 512.
+	DashboardEvents int
 
 	// gate, when non-nil, is received from once per dequeued job, after it
 	// turns "running" and before it executes. In-package tests use it to
@@ -91,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
+	if c.DashboardEvents <= 0 {
+		c.DashboardEvents = 512
+	}
 	return c
 }
 
@@ -109,6 +123,12 @@ type job struct {
 	started     time.Time
 	finished    time.Time
 	done        chan struct{}
+
+	// spans traces the job's lifecycle stages (nil unless Config.Spans).
+	spans *obs.SpanSet
+	// ring retains the tail of the run's event stream for the dashboard
+	// (nil unless Config.Spans; evicted FIFO once the job is done).
+	ring *obs.Ring
 }
 
 // Server executes simulation jobs. Construct with New (which starts the
@@ -129,12 +149,20 @@ type Server struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 
+	// started anchors the uptime reported by /healthz and the dashboard;
+	// tests pin it together with now.
+	started time.Time
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string
 	byKey    map[string]*job
 	seq      int
 	draining bool
+	// doneRings lists jobs whose ring survived completion, oldest first,
+	// so recently finished timelines linger on the dashboard without
+	// retaining every ring forever.
+	doneRings []string
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -144,7 +172,15 @@ type Server struct {
 
 	queueDepth *obs.Gauge
 	activeJobs *obs.Gauge
+	queueWait  *obs.Histogram // serve.queue_wait_s
+	runSecs    *obs.Histogram // serve.run_s
+	traceTTFB  *obs.Histogram // serve.trace_ttfb_s
+	respBytes  *obs.Histogram // serve.response_bytes
 }
+
+// keepDoneRings bounds how many finished jobs keep their event ring for
+// the dashboard's "recently finished" timelines.
+const keepDoneRings = 8
 
 // New builds a server and starts its worker pool.
 func New(cfg Config) (*Server, error) {
@@ -162,12 +198,17 @@ func New(cfg Config) (*Server, error) {
 		cache:      cache,
 		log:        cfg.Logger,
 		now:        time.Now,
+		started:    time.Now(),
 		jobs:       make(map[string]*job),
 		byKey:      make(map[string]*job),
 		queue:      make(chan *job, cfg.QueueDepth),
 		runners:    make(map[string]*experiments.Runner),
 		queueDepth: cfg.Metrics.Gauge(obs.MetricServeQueueDepth),
 		activeJobs: cfg.Metrics.Gauge(obs.MetricServeActive),
+		queueWait:  cfg.Metrics.HistogramWith(obs.MetricServeQueueWait, obs.DefaultLatencyBuckets()),
+		runSecs:    cfg.Metrics.HistogramWith(obs.MetricServeRunSecs, obs.DefaultLatencyBuckets()),
+		traceTTFB:  cfg.Metrics.HistogramWith(obs.MetricServeTraceTTFB, obs.DefaultLatencyBuckets()),
+		respBytes:  cfg.Metrics.HistogramWith(obs.MetricServeRespBytes, obs.DefaultSizeBuckets()),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -203,6 +244,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				j.state = StateCanceled
 				j.errMsg = "server shutting down before job started"
 				j.finished = s.now()
+				if j.spans != nil {
+					j.spans.End("queue_wait", j.finished)
+					j.spans.End("job", j.finished)
+				}
 				canceled.Inc()
 				close(j.done)
 			default:
@@ -248,6 +293,10 @@ func (s *Server) worker() {
 			j.state = StateCanceled
 			j.errMsg = "server shutting down before job started"
 			j.finished = s.now()
+			if j.spans != nil {
+				j.spans.End("queue_wait", j.finished)
+				j.spans.End("job", j.finished)
+			}
 			s.mu.Unlock()
 			s.reg.Counter(obs.MetricServeCanceled).Inc()
 			close(j.done)
@@ -255,7 +304,12 @@ func (s *Server) worker() {
 		}
 		j.state = StateRunning
 		j.started = s.now()
+		if j.spans != nil {
+			j.spans.End("queue_wait", j.started)
+			j.spans.Begin("run", "job", j.started)
+		}
 		s.mu.Unlock()
+		s.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
 		if s.cfg.gate != nil {
 			<-s.cfg.gate
 		}
@@ -297,8 +351,19 @@ func (s *Server) runnerFor(cfg core.Config, insts uint64) (*experiments.Runner, 
 }
 
 // execute runs one job to a terminal state and persists its artifacts.
+// The run/persist span boundary sits between the two: simulate covers
+// the simulation (plus the trace artifact, which is the run's output),
+// persist covers the cache entry write. Both happen before the job is
+// visible as done — a crash between them leaves only a recomputable
+// miss, never a dangling done job.
 func (s *Server) execute(j *job) {
 	m, err := s.simulate(j)
+	runEnd := s.now()
+	s.runSecs.Observe(runEnd.Sub(j.started).Seconds())
+	persisted := err == nil
+	if persisted {
+		err = s.persist(j, m)
+	}
 	s.mu.Lock()
 	j.finished = s.now()
 	if err != nil {
@@ -307,6 +372,25 @@ func (s *Server) execute(j *job) {
 	} else {
 		j.state = StateDone
 		j.measurement = m
+	}
+	if j.spans != nil {
+		j.spans.End("run", runEnd)
+		if persisted {
+			j.spans.Record("persist", "job", runEnd, j.finished)
+		}
+		j.spans.End("job", j.finished)
+	}
+	if j.ring != nil {
+		// Keep the ring so the dashboard shows recently finished
+		// timelines, but only the newest keepDoneRings of them.
+		s.doneRings = append(s.doneRings, j.id)
+		if len(s.doneRings) > keepDoneRings {
+			oldest := s.doneRings[0]
+			s.doneRings = s.doneRings[1:]
+			if oj, ok := s.jobs[oldest]; ok {
+				oj.ring = nil
+			}
+		}
 	}
 	latency := j.finished.Sub(j.submitted).Seconds()
 	s.mu.Unlock()
@@ -327,10 +411,11 @@ func (s *Server) execute(j *job) {
 	close(j.done)
 }
 
-// simulate executes the job's simulation and, on success, persists the
-// result (and trace, when requested) into the cache before the job is
-// visible as done — a crash between the two leaves only a recomputable
-// miss, never a dangling done job.
+// simulate executes the job's simulation, including writing the trace
+// artifact into the cache when requested (the trace is the run's output
+// stream, so it belongs to the run stage; the measurement cache entry is
+// execute's persist stage). With Spans enabled the run is additionally
+// observed through an in-memory ring for the dashboard.
 func (s *Server) simulate(j *job) (experiments.Measurement, error) {
 	cfg, prof, factory, err := j.cfg.Resolve()
 	if err != nil {
@@ -341,6 +426,14 @@ func (s *Server) simulate(j *job) (experiments.Measurement, error) {
 		return experiments.Measurement{}, err
 	}
 
+	if s.cfg.Spans {
+		ring := obs.NewRing(s.cfg.DashboardEvents)
+		s.mu.Lock()
+		j.ring = ring
+		s.mu.Unlock()
+		cfg.Tracer = ring
+	}
+
 	var traceTmp string
 	if j.cfg.Trace {
 		f, err := os.CreateTemp(s.cache.Dir(), "tmp-trace-*")
@@ -349,7 +442,7 @@ func (s *Server) simulate(j *job) (experiments.Measurement, error) {
 		}
 		traceTmp = f.Name()
 		sink := obs.NewJSONL(f)
-		cfg.Tracer = sink
+		cfg.Tracer = obs.Combine(sink, cfg.Tracer)
 		defer os.Remove(traceTmp) // no-op once renamed into place
 		m, err := runner.RunJobContext(s.baseCtx, experiments.Job{
 			Config: cfg, Profile: prof, Factory: factory,
@@ -366,22 +459,12 @@ func (s *Server) simulate(j *job) (experiments.Measurement, error) {
 		if err := s.cache.PutTraceFile(j.key, traceTmp); err != nil {
 			return experiments.Measurement{}, err
 		}
-		if err := s.persist(j, m); err != nil {
-			return experiments.Measurement{}, err
-		}
 		return m, nil
 	}
 
-	m, err := runner.RunJobContext(s.baseCtx, experiments.Job{
+	return runner.RunJobContext(s.baseCtx, experiments.Job{
 		Config: cfg, Profile: prof, Factory: factory,
 	})
-	if err != nil {
-		return experiments.Measurement{}, err
-	}
-	if err := s.persist(j, m); err != nil {
-		return experiments.Measurement{}, err
-	}
-	return m, nil
 }
 
 func (s *Server) persist(j *job, m experiments.Measurement) error {
@@ -443,10 +526,13 @@ type listResponse struct {
 }
 
 type healthResponse struct {
-	Status string `json:"status"`
-	Queued int    `json:"queued"`
-	Active int    `json:"active"`
-	Jobs   int    `json:"jobs"`
+	Status   string  `json:"status"`
+	UptimeS  float64 `json:"uptime_s"`
+	Workers  int     `json:"workers"`
+	QueueCap int     `json:"queue_capacity"`
+	Queued   int     `json:"queued"`
+	Active   int     `json:"active"`
+	Jobs     int     `json:"jobs"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -461,7 +547,8 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 	writeJSON(w, status, errorBody{Error: apiError{Code: code, Message: message}})
 }
 
-// Handler returns the server's HTTP API.
+// Handler returns the server's HTTP API. Every response passes through a
+// byte-counting writer feeding the serve.response_bytes histogram.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -469,13 +556,47 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
+	mux.HandleFunc("GET /v1/dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /v1/dashboard/stream", s.handleDashboardStream)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.Handle("GET /metrics.json", s.reg.Handler())
-	return mux
+	mux.Handle("GET /metrics.prom", s.reg.Handler())
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &countingWriter{ResponseWriter: w}
+		mux.ServeHTTP(cw, r)
+		s.respBytes.Observe(float64(cw.n))
+	})
+}
+
+// countingWriter counts response body bytes. It forwards Flush so
+// streaming handlers (SSE, trace) keep working through the wrapper.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(b)
+	cw.n += int64(n)
+	return n, err
+}
+
+func (cw *countingWriter) Flush() {
+	if f, ok := cw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Span timestamps are only taken when tracing is on, so a spans-off
+	// server consumes no extra clock reads per submission (the frozen
+	// test clock steps once per read — goldens depend on the budget).
+	var tReq, tVal time.Time
+	if s.cfg.Spans {
+		tReq = s.now()
+	}
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	data, err := io.ReadAll(body)
 	if err != nil {
@@ -497,8 +618,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_config", err.Error())
 		return
 	}
+	if s.cfg.Spans {
+		tVal = s.now()
+	}
 
-	resp, status, apiErr := s.submit(jc, key)
+	resp, status, apiErr := s.submit(jc, key, tReq, tVal)
 	if apiErr != nil {
 		if apiErr.Code == "queue_full" {
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
@@ -508,12 +632,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/v1/jobs/"+resp.ID)
 	writeJSON(w, status, resp)
+	if s.cfg.Spans && !resp.Deduped {
+		// The respond stage closes after the response bytes are written.
+		// Deduped submissions ride the original job's spans untouched.
+		tResp := s.now()
+		s.mu.Lock()
+		if j, ok := s.jobs[resp.ID]; ok && j.spans != nil {
+			j.spans.Record("respond", "submit", j.submitted, tResp)
+		}
+		s.mu.Unlock()
+	}
 }
 
 // submit registers one submission: dedup against live jobs, then the
 // persistent cache, then the bounded queue. Returns the response, HTTP
 // status, and a non-nil apiError when the submission was not accepted.
-func (s *Server) submit(jc JobConfig, key string) (submitResponse, int, *apiError) {
+// tReq/tVal are the request-received and post-validation instants; both
+// are zero with span tracing off, which disables span creation.
+func (s *Server) submit(jc JobConfig, key string, tReq, tVal time.Time) (submitResponse, int, *apiError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -533,6 +669,17 @@ func (s *Server) submit(jc JobConfig, key string) (submitResponse, int, *apiErro
 		j.cached = true
 		j.measurement = entry.Measurement
 		j.finished = j.submitted
+		if !tReq.IsZero() {
+			// A cache hit never queues or runs; its lifecycle collapses to
+			// submit/validate/lookup (plus the respond stage the handler
+			// records after writing the response).
+			j.spans = obs.NewSpanSet(key, tReq)
+			j.spans.Begin("job", "", tReq)
+			j.spans.Record("submit", "job", tReq, j.submitted)
+			j.spans.Record("validate", "submit", tReq, tVal)
+			j.spans.Record("lookup", "submit", tVal, j.submitted)
+			j.spans.End("job", j.finished)
+		}
 		close(j.done)
 		s.reg.Counter(obs.MetricServeCacheHits).Inc()
 		return submitResponse{ID: j.id, Key: key, State: StateDone, Cached: true}, http.StatusOK, nil
@@ -541,6 +688,14 @@ func (s *Server) submit(jc JobConfig, key string) (submitResponse, int, *apiErro
 	select {
 	case s.queue <- j:
 		s.queueDepth.Add(1)
+		if !tReq.IsZero() {
+			j.spans = obs.NewSpanSet(key, tReq)
+			j.spans.Begin("job", "", tReq)
+			j.spans.Record("submit", "job", tReq, j.submitted)
+			j.spans.Record("validate", "submit", tReq, tVal)
+			j.spans.Record("lookup", "submit", tVal, j.submitted)
+			j.spans.Begin("queue_wait", "job", j.submitted)
+		}
 		s.reg.Counter(obs.MetricServeCacheMisses).Inc()
 		return submitResponse{ID: j.id, Key: key, State: StateQueued}, http.StatusAccepted, nil
 	default:
@@ -656,6 +811,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t0 := s.now()
 	j, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -682,12 +838,67 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	defer f.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	_, _ = io.Copy(w, f) // response stream; delivery failures are the client's
+	fw := &firstByteWriter{w: w, observe: func() {
+		s.traceTTFB.Observe(s.now().Sub(t0).Seconds())
+	}}
+	_, _ = io.Copy(fw, f) // response stream; delivery failures are the client's
+}
+
+// firstByteWriter calls observe once, just before the first byte of the
+// body is written — the serve.trace_ttfb_s sample point.
+type firstByteWriter struct {
+	w       io.Writer
+	observe func()
+}
+
+func (fw *firstByteWriter) Write(b []byte) (int, error) {
+	if fw.observe != nil && len(b) > 0 {
+		fw.observe()
+		fw.observe = nil
+	}
+	return fw.w.Write(b)
+}
+
+// handleSpans streams a job's lifecycle spans as JSONL, in creation
+// order. 404s with spans_disabled on servers running without Spans.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	var spans []obs.Span
+	if j.spans != nil {
+		spans = j.spans.Spans()
+	}
+	s.mu.Unlock()
+	if spans == nil {
+		writeError(w, http.StatusNotFound, "spans_disabled",
+			"this server runs without span tracing (start dtmserve with -spans)")
+		return
+	}
+	var buf []byte
+	for _, sp := range spans {
+		buf = sp.AppendJSONL(buf)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf) // response stream; delivery failures are the client's
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	uptime := s.now().Sub(s.started).Seconds()
+	if uptime < 0 {
+		uptime = 0
+	}
 	s.mu.Lock()
-	resp := healthResponse{Status: "ok", Jobs: len(s.jobs)}
+	resp := healthResponse{
+		Status:   "ok",
+		UptimeS:  uptime,
+		Workers:  s.cfg.Workers,
+		QueueCap: s.cfg.QueueDepth,
+		Jobs:     len(s.jobs),
+	}
 	for _, j := range s.jobs {
 		switch j.state {
 		case StateQueued:

@@ -10,9 +10,11 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -39,6 +41,7 @@ func TestSoakConcurrentMixedLoad(t *testing.T) {
 		CacheDir:   t.TempDir(),
 		RetryAfter: time.Second,
 		Metrics:    reg,
+		Spans:      true, // rings + spans live while scrapers read them
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -55,6 +58,33 @@ func TestSoakConcurrentMixedLoad(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Minute)
 	defer cancel()
+
+	// Observability scrapers run concurrently with the load: /metrics,
+	// the Prometheus exposition, and the dashboard (which snapshots the
+	// live per-job event rings while workers emit into them). Under -race
+	// this is the proof that scraping never tears the serving path.
+	scrapeCtx, stopScrapes := context.WithCancel(ctx)
+	var scrapes sync.WaitGroup
+	for _, path := range []string{"/metrics", "/metrics.prom", "/v1/dashboard"} {
+		scrapes.Add(1)
+		go func(path string) {
+			defer scrapes.Done()
+			client := ts.Client()
+			for scrapeCtx.Err() == nil {
+				resp, err := client.Get(ts.URL + path)
+				if err != nil {
+					return // server shutting down
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("scrape %s: HTTP %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+
 	report, err := Replay(ctx, LoadSpec{
 		BaseURL: ts.URL,
 		Jobs:    jobs,
@@ -62,6 +92,8 @@ func TestSoakConcurrentMixedLoad(t *testing.T) {
 		Clients: soakClients,
 		Client:  ts.Client(),
 	})
+	stopScrapes()
+	scrapes.Wait()
 	if err != nil {
 		t.Fatalf("Replay: %v", err)
 	}
@@ -104,6 +136,19 @@ func TestSoakConcurrentMixedLoad(t *testing.T) {
 	if report.Rejected != int(counters[obs.MetricServeRejected]) {
 		t.Errorf("client saw %d rejections, server counted %d",
 			report.Rejected, counters[obs.MetricServeRejected])
+	}
+
+	// The lifecycle histograms must agree with the exactly-once ledger:
+	// each of the soakMix executed jobs waited in the queue once and ran
+	// once — no sample lost to a scrape, none double-counted.
+	for _, name := range []string{obs.MetricServeQueueWait, obs.MetricServeRunSecs} {
+		if got := reg.Histogram(name).Count(); got != int64(soakMix) {
+			t.Errorf("%s count = %d, want %d (one sample per executed job)", name, got, soakMix)
+		}
+	}
+	if report.LatencySamples != report.Completed {
+		t.Errorf("latency percentiles backed by %d samples, want %d completions",
+			report.LatencySamples, report.Completed)
 	}
 
 	// Results must be byte-identical to serial runs of the same configs
