@@ -530,6 +530,49 @@ func BenchmarkTracerJSONL(b *testing.B) {
 	benchCoupled(b, func() obs.Tracer { return obs.NewJSONL(io.Discard) })
 }
 
+// benchCoupledProfiled is benchCoupled with a StageProfiler attached
+// (one per iteration, matching production use of one profiler per run).
+func benchCoupledProfiled(b *testing.B, mkProfiler func() *obs.StageProfiler) {
+	b.Helper()
+	prof, _ := trace.ByName("bzip2")
+	cfg := benchOptions().Config
+	ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, err := dtm.Hyb(cfg.Trigger, 0.4, experiments.CrossoverGateStall, ladder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := cfg
+		if mkProfiler != nil {
+			c.Profiler = mkProfiler()
+		}
+		sim, err := core.New(c, prof, pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Instructions)/b.Elapsed().Seconds(), "simInsts/s")
+	}
+}
+
+// BenchmarkStageProfilerOff is the disabled-profiler fast path: identical
+// workload to BenchmarkCoupledLoop with cfg.Profiler left nil, pinning
+// the ~1% hoisted-nil-check budget the tentpole promises.
+func BenchmarkStageProfilerOff(b *testing.B) { benchCoupledProfiled(b, nil) }
+
+// BenchmarkStageProfilerOn measures profiler-on cost at the default
+// step-sampling period (< 10% is the documented bound).
+func BenchmarkStageProfilerOn(b *testing.B) {
+	benchCoupledProfiled(b, func() *obs.StageProfiler { return obs.NewStageProfiler(0) })
+}
+
 // BenchmarkStatsTTest measures the paired t-test used for the 99%
 // significance statements (fast; exists to keep the numeric path covered
 // under -bench as well as -test).

@@ -71,7 +71,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if len(rep.Manifests)+len(rep.Traces)+len(rep.Results)+len(rep.Snapshots) == 0 {
+	if len(rep.Manifests)+len(rep.Traces)+len(rep.Results)+len(rep.Snapshots)+len(rep.StageProfiles) == 0 {
 		return fmt.Errorf("no report artifacts found under %s", strings.Join(dirs, ", "))
 	}
 	if *htmlOut != "" {
@@ -84,8 +84,8 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "dtmreport: %d manifest(s), %d trace(s), %d results doc(s), %d snapshot(s), %d check(s)\n",
-		len(rep.Manifests), len(rep.Traces), len(rep.Results), len(rep.Snapshots), len(rep.Checks))
+	fmt.Fprintf(os.Stderr, "dtmreport: %d manifest(s), %d trace(s), %d results doc(s), %d snapshot(s), %d stage profile(s), %d check(s)\n",
+		len(rep.Manifests), len(rep.Traces), len(rep.Results), len(rep.Snapshots), len(rep.StageProfiles), len(rep.Checks))
 	for _, c := range rep.Checks {
 		if !c.Pass {
 			fmt.Fprintf(os.Stderr, "dtmreport: envelope FAIL: %s (%s)\n", c.Name, c.Detail)
@@ -126,10 +126,49 @@ func compare(basePath, headPath string, threshold float64, metricList string) er
 		return fmt.Errorf("snapshots share no comparable metrics")
 	}
 	table := obs.FormatDeltas(deltas)
+	if suspect := stageSuspect(base, head, deltas); suspect != "" {
+		table += suspect + "\n"
+	}
 	if regressed {
 		return errRegression{table: table}
 	}
 	fmt.Print(table)
 	fmt.Printf("no regression past %.0f%% (%s → %s)\n", 100*threshold, obs.BenchFileName(base.GitSHA), obs.BenchFileName(head.GitSHA))
 	return nil
+}
+
+// stageSuspect names the stage whose attributed share of coupled-loop
+// time grew the most between the snapshots — the first place to look —
+// but only when sim.insts_per_sec actually regressed. Empty when
+// throughput held, when the snapshots carry no sim.stage.*_frac metrics
+// (profiling wasn't on), or when no shared stage grew.
+func stageSuspect(base, head obs.BenchSnapshot, deltas []obs.BenchDelta) string {
+	regressedTput := false
+	for _, d := range deltas {
+		if d.Name == "sim.insts_per_sec" && d.Regression {
+			regressedTput = true
+			break
+		}
+	}
+	if !regressedTput {
+		return ""
+	}
+	suspect, growth := "", 0.0
+	for _, m := range head.Metrics {
+		if !strings.HasPrefix(m.Name, obs.MetricStagePrefix) || !strings.HasSuffix(m.Name, "_frac") {
+			continue
+		}
+		bm, ok := base.Metric(m.Name)
+		if !ok {
+			continue
+		}
+		if g := m.Value - bm.Value; g > growth {
+			suspect, growth = m.Name, g
+		}
+	}
+	if suspect == "" {
+		return ""
+	}
+	stage := strings.TrimSuffix(strings.TrimPrefix(suspect, obs.MetricStagePrefix), "_frac")
+	return fmt.Sprintf("sim.insts_per_sec regressed; fastest-growing stage: %s (+%.1f pts of attributed loop time)", stage, 100*growth)
 }

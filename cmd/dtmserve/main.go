@@ -69,6 +69,8 @@ func run(ctx context.Context) error {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
 	quiet := flag.Bool("quiet", false, "suppress request/job logging")
 	spans := flag.Bool("spans", true, "per-job lifecycle span tracing and dashboard event rings (loadgen always runs with this off)")
+	dashHistory := flag.Int("dashboard-history", 8, "finished jobs keeping their dashboard thermal timeline (FIFO; must be >= 1)")
+	stageProfile := flag.Bool("stage-profile", false, "per-stage coupled-loop attribution on every job (sim.stage.* gauges on /metrics and the dashboard; loadgen with -snapshot-out also writes stageprofile.json beside the snapshot)")
 
 	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving")
 	base := flag.String("base", "", "loadgen: target server URL (default: a throwaway in-process server)")
@@ -81,6 +83,9 @@ func run(ctx context.Context) error {
 	snapshotOut := flag.String("snapshot-out", "", "loadgen: write a BENCH_<sha>.json perf snapshot into this directory (or to this exact path when it ends in .json)")
 	flag.Parse()
 
+	if *dashHistory < 1 {
+		return fmt.Errorf("-dashboard-history must be >= 1, got %d", *dashHistory)
+	}
 	var logger *slog.Logger
 	if !*quiet {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -96,13 +101,15 @@ func run(ctx context.Context) error {
 		fmt.Fprintln(os.Stderr, "dtmserve: cache:", dir)
 	}
 	cfg := serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheDir:        dir,
-		MaxInstructions: *maxInsts,
-		RetryAfter:      *retryAfter,
-		Logger:          logger,
-		Spans:           *spans,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheDir:         dir,
+		MaxInstructions:  *maxInsts,
+		RetryAfter:       *retryAfter,
+		Logger:           logger,
+		Spans:            *spans,
+		DashboardHistory: *dashHistory,
+		StageProfile:     *stageProfile,
 	}
 
 	if *loadgen {
@@ -179,8 +186,9 @@ func runLoadgen(ctx context.Context, cfg serve.Config, spec loadgenSpec) error {
 
 	baseURL := spec.base
 	var reg *obs.Registry
+	var srv *serve.Server
 	if baseURL == "" {
-		srv, err := serve.New(cfg)
+		srv, err = serve.New(cfg)
 		if err != nil {
 			return err
 		}
@@ -255,6 +263,17 @@ func runLoadgen(ctx context.Context, cfg serve.Config, spec loadgenSpec) error {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "dtmserve: snapshot:", path)
+	// With -stage-profile against the in-process server, the last job's
+	// attribution lands beside the snapshot for dtmreport.
+	if srv != nil {
+		if doc, ok := srv.StageProfileDoc(); ok {
+			spPath := filepath.Join(filepath.Dir(path), "stageprofile.json")
+			if err := doc.WriteFile(spPath); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "dtmserve: stage profile:", spPath)
+		}
+	}
 	return nil
 }
 

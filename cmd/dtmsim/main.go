@@ -16,7 +16,9 @@
 //
 // Observability: -trace-out writes the run's event stream (JSON Lines, or
 // CSV when the path ends in .csv; single-benchmark runs only), -out writes
-// machine-readable results JSON for dtmreport, -metrics prints aggregate
+// machine-readable results JSON for dtmreport, -stage-profile writes
+// per-stage time/alloc attribution of the coupled loop (stageprofile.json,
+// rendered by dtmreport; single-benchmark runs only), -metrics prints aggregate
 // counters to stderr, -v/-quiet adjust logging, and
 // -cpuprofile/-memprofile/-runtime-metrics capture profiles. Any
 // invocation with an output flag also writes a provenance manifest.json
@@ -61,6 +63,7 @@ func run(ctx context.Context) error {
 	workers := flag.Int("workers", 0, "concurrent simulations for multi-benchmark runs (0 = one per CPU)")
 	traceOut := flag.String("trace-out", "", "write the event trace to this file (JSONL; .csv extension switches format; single benchmark only)")
 	out := flag.String("out", "", "write machine-readable results JSON to this file (input for dtmreport)")
+	stageProfile := flag.String("stage-profile", "", "write per-stage time/alloc attribution JSON to this file (single benchmark only)")
 	metrics := flag.Bool("metrics", false, "print aggregate simulation metrics to stderr at exit")
 	verbose := flag.Bool("v", false, "debug logging: one line per completed simulation")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
@@ -81,6 +84,9 @@ func run(ctx context.Context) error {
 	if *traceOut != "" && len(profs) != 1 {
 		return fmt.Errorf("-trace-out records a single run; got %d benchmarks", len(profs))
 	}
+	if *stageProfile != "" && len(profs) != 1 {
+		return fmt.Errorf("-stage-profile records a single run; got %d benchmarks", len(profs))
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.DVSStall = !*ideal
@@ -98,7 +104,7 @@ func run(ctx context.Context) error {
 	start := time.Now()
 	var ms []experiments.Measurement
 	if len(profs) == 1 {
-		ms, err = runOne(ctx, cfg, profs[0], factory, *insts, *traceOut, reg)
+		ms, err = runOne(ctx, cfg, profs[0], factory, *insts, *traceOut, *stageProfile, reg)
 	} else {
 		ms, err = runSuite(ctx, cfg, profs, factory, *insts, *workers, logger(*verbose, *quiet), reg)
 	}
@@ -114,7 +120,7 @@ func run(ctx context.Context) error {
 	}
 	// Every invocation that leaves artifacts behind gets a provenance
 	// manifest beside them.
-	if outputs := nonEmpty(*traceOut, *out); len(outputs) > 0 {
+	if outputs := nonEmpty(*traceOut, *out, *stageProfile); len(outputs) > 0 {
 		names := make([]string, len(profs))
 		for i, p := range profs {
 			names[i] = p.Name
@@ -210,10 +216,15 @@ func parseBenchmarks(arg string) ([]trace.Profile, error) {
 // the run to a sink and folding its events into a metrics registry. The
 // returned measurement carries the raw result; slowdown is zero because a
 // single run has no baseline to normalize against.
-func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory experiments.PolicyFactory, insts uint64, traceOut string, reg *obs.Registry) (ms []experiments.Measurement, err error) {
+func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory experiments.PolicyFactory, insts uint64, traceOut, stageProfile string, reg *obs.Registry) (ms []experiments.Measurement, err error) {
 	pol, err := factory.New()
 	if err != nil {
 		return nil, err
+	}
+	var sp *obs.StageProfiler
+	if stageProfile != "" {
+		sp = obs.NewStageProfiler(0)
+		cfg.Profiler = sp
 	}
 	if traceOut != "" {
 		sink, closeSink, cerr := openTraceSink(traceOut)
@@ -240,6 +251,15 @@ func runOne(ctx context.Context, cfg core.Config, prof trace.Profile, factory ex
 	res, err := sim.RunContext(ctx, insts)
 	if err != nil {
 		return nil, err
+	}
+	if sp != nil {
+		doc := sp.Profile("dtmsim", res.Benchmark, res.Policy)
+		if err := doc.WriteFile(stageProfile); err != nil {
+			return nil, err
+		}
+		if reg != nil {
+			sp.Publish(reg)
+		}
 	}
 
 	fmt.Printf("benchmark        %s\n", res.Benchmark)

@@ -21,8 +21,11 @@
 // same registry over HTTP while the sweep runs (shut down gracefully on
 // exit or Ctrl-C). -cpuprofile/-memprofile/-runtime-metrics capture
 // profiles. -out writes machine-readable figure results for dtmreport,
-// -snapshot-out records a BENCH_<sha>.json performance snapshot, and
-// either flag also writes a provenance manifest.json beside the artifact.
+// -snapshot-out records a BENCH_<sha>.json performance snapshot,
+// -stage-profile writes per-stage coupled-loop attribution from a
+// dedicated profiled run (stage fractions also folded into the snapshot),
+// and any of these flags also writes a provenance manifest.json beside
+// the artifact.
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"hybriddtm/internal/core"
 	"hybriddtm/internal/experiments"
 	"hybriddtm/internal/floorplan"
 	"hybriddtm/internal/hotspot"
@@ -62,6 +66,7 @@ func run(ctx context.Context) error {
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9090, or :0 for an ephemeral port)")
 	out := flag.String("out", "", "write machine-readable figure results JSON to this file (input for dtmreport)")
 	snapshotOut := flag.String("snapshot-out", "", "write a BENCH_<sha>.json perf snapshot into this directory (or to this exact path when it ends in .json)")
+	stageProfile := flag.String("stage-profile", "", "write per-stage coupled-loop attribution JSON to this file (dedicated profiled run after the sweep, so gated perf metrics are unaffected)")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -231,6 +236,21 @@ func run(ctx context.Context) error {
 		}
 		outputs = append(outputs, *out)
 	}
+	// The stage profile comes from a dedicated run AFTER elapsed is frozen
+	// (like measureThermalCellsPerSec) so the gated sim.insts_per_sec is
+	// never contaminated by profiler-on cost.
+	var stageDoc *obs.StageProfile
+	if *stageProfile != "" {
+		sd, err := runStageProfile(ctx, opts, *insts)
+		if err != nil {
+			return err
+		}
+		if err := sd.WriteFile(*stageProfile); err != nil {
+			return err
+		}
+		outputs = append(outputs, *stageProfile)
+		stageDoc = &sd
+	}
 	if *snapshotOut != "" {
 		snap := obs.CaptureBench(reg, elapsed, r.Workers(), start)
 		cellsPerSec, err := measureThermalCellsPerSec()
@@ -238,6 +258,13 @@ func run(ctx context.Context) error {
 			return err
 		}
 		snap.Add("thermal.cells_per_sec", "cells/s", cellsPerSec, obs.BetterHigher)
+		if stageDoc != nil {
+			// Coarse attribution trajectory: BENCH_<sha>.json records how
+			// the cpu/power/thermal/policy/trace split moves across commits.
+			for _, g := range obs.StageGroups() {
+				snap.Add("sim.stage."+g+"_frac", "frac", stageDoc.GroupFrac(g), obs.BetterLower)
+			}
+		}
 		path := *snapshotOut
 		if strings.HasSuffix(path, ".json") {
 			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -274,6 +301,38 @@ func run(ctx context.Context) error {
 		}
 	}
 	return stopProf()
+}
+
+// runStageProfile runs one coupled simulation (the -bench selection, or
+// bzip2 — the hottest benchmark — by default) under Hyb with the
+// StageProfiler attached and returns the frozen attribution document.
+func runStageProfile(ctx context.Context, opts experiments.Options, insts uint64) (obs.StageProfile, error) {
+	prof, ok := trace.ByName("bzip2")
+	if len(opts.Benchmarks) == 1 {
+		prof, ok = opts.Benchmarks[0], true
+	}
+	if !ok {
+		return obs.StageProfile{}, fmt.Errorf("bzip2 profile missing")
+	}
+	cfg := opts.Config
+	factory, err := experiments.PolicyByName(&cfg, "hyb", 1.0/3, 5)
+	if err != nil {
+		return obs.StageProfile{}, err
+	}
+	pol, err := factory.New()
+	if err != nil {
+		return obs.StageProfile{}, err
+	}
+	sp := obs.NewStageProfiler(0)
+	cfg.Profiler = sp
+	sim, err := core.New(cfg, prof, pol)
+	if err != nil {
+		return obs.StageProfile{}, err
+	}
+	if _, err := sim.RunContext(ctx, insts); err != nil {
+		return obs.StageProfile{}, err
+	}
+	return sp.Profile("experiments", prof.Name, factory.Name), nil
 }
 
 // measureThermalCellsPerSec times the grid thermal micro-workload that the

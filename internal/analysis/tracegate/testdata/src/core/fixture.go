@@ -53,11 +53,50 @@ func (s *sim) guardedWrongBranch() {
 
 func (s *sim) notHoisted() {
 	if s.cfg.Tracer != nil {
-		s.cfg.Tracer.Emit(&Event{}) // want `hoist the tracer into a local`
+		s.cfg.Tracer.Emit(&Event{}) // want `hoist it into a local`
 	}
 }
 
 func (s *sim) allowedColdPath() {
 	tr := s.cfg.Tracer
 	tr.End() //dtmlint:allow tracegate cold error-abort path, not per-step
+}
+
+// StageProfiler mirrors obs.StageProfiler: the analyzer matches the named
+// type (through a pointer), so the fixture needs no import.
+type StageProfiler struct{ steps int }
+
+func (p *StageProfiler) StepTick() bool { p.steps++; return true }
+func (p *StageProfiler) Mark()          {}
+func (p *StageProfiler) Lap(s int)      {}
+
+type profCfg struct {
+	Profiler *StageProfiler
+}
+
+func (s *sim) profilerHoistedAndGuarded(cfg profCfg) {
+	sp := cfg.Profiler
+	active := false
+	if sp != nil {
+		active = sp.StepTick()
+	}
+	if sp != nil && active {
+		sp.Mark()
+	}
+}
+
+func (s *sim) profilerUnguarded(cfg profCfg) {
+	sp := cfg.Profiler
+	sp.Mark() // want `StageProfiler method call not dominated by .if sp != nil.`
+}
+
+func (s *sim) profilerNotHoisted(cfg profCfg) {
+	if cfg.Profiler != nil {
+		cfg.Profiler.Lap(0) // want `StageProfiler method call on cfg.Profiler: hoist it into a local`
+	}
+}
+
+func (s *sim) profilerAllowedColdPath(cfg profCfg) {
+	sp := cfg.Profiler
+	sp.Mark() //dtmlint:allow tracegate one-shot summary after the loop, not per-step
 }

@@ -1,0 +1,55 @@
+// Fixture for tracegate: package base name "cpu" is hot-path scope too —
+// core threads the profiler into the pipeline as a pointer parameter, and
+// every per-cycle call site must keep the hoisted nil guard.
+package cpu
+
+// StageProfiler mirrors obs.StageProfiler by name; the analyzer matches
+// the named type through a pointer, so the fixture needs no import.
+type StageProfiler struct{ laps int }
+
+func (p *StageProfiler) Mark()     {}
+func (p *StageProfiler) Lap(s int) { p.laps++ }
+
+type core struct{ cycle uint64 }
+
+func (c *core) guardedParameter(sp *StageProfiler) {
+	c.cycle++
+	if sp != nil {
+		sp.Mark()
+	}
+	if sp != nil {
+		sp.Lap(1)
+	}
+}
+
+func (c *core) guardedWithConjunct(sp *StageProfiler, sampled bool) {
+	if sampled && sp != nil {
+		sp.Lap(2)
+	}
+}
+
+func (c *core) unguarded(sp *StageProfiler) {
+	sp.Lap(3) // want `StageProfiler method call not dominated by .if sp != nil.`
+}
+
+func (c *core) guardedWrongBranch(sp *StageProfiler) {
+	if sp != nil {
+		_ = sp
+	} else {
+		sp.Mark() // want `not dominated`
+	}
+}
+
+type runState struct {
+	prof *StageProfiler
+}
+
+func (c *core) notHoisted(st runState) {
+	if st.prof != nil {
+		st.prof.Lap(4) // want `hoist it into a local`
+	}
+}
+
+func (c *core) allowedColdPath(sp *StageProfiler) {
+	sp.Mark() //dtmlint:allow tracegate one-shot epilogue outside the cycle loop
+}

@@ -13,6 +13,12 @@
 //     on that same identifier (conjuncts allowed: `if on && tr != nil`)
 //     is flagged: an unguarded call either panics when tracing is off or
 //     forces the caller to pay an interface call per step.
+//
+// The *obs.StageProfiler threaded through the same loop (and into
+// internal/cpu's pipeline stages) carries the identical contract — the
+// profiler-off path must stay AllocsPerRun==0 and within ~1% of baseline
+// — so the analyzer enforces the same two rules for StageProfiler method
+// calls, in both internal/core and internal/cpu.
 package tracegate
 
 import (
@@ -25,12 +31,14 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "tracegate",
-	Doc:  "require internal/core Tracer method calls to be dominated by the hoisted `if tr != nil` check",
+	Doc:  "require internal/core and internal/cpu Tracer/StageProfiler method calls to be dominated by the hoisted `if x != nil` check",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	if analysis.PkgBase(pass.Pkg.Path()) != "core" {
+	switch analysis.PkgBase(pass.Pkg.Path()) {
+	case "core", "cpu":
+	default:
 		return nil, nil
 	}
 	for _, f := range pass.Files {
@@ -55,21 +63,28 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// checkCall flags Tracer method calls that violate the hoisted-guard
-// pattern. stack holds the ancestors of call, call itself last.
+// checkCall flags Tracer and StageProfiler method calls that violate the
+// hoisted-guard pattern. stack holds the ancestors of call, call itself
+// last.
 func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return
 	}
 	recvType := pass.TypesInfo.TypeOf(sel.X)
-	if !isTracer(recvType) {
+	var kind string
+	switch {
+	case isTracer(recvType):
+		kind = "Tracer"
+	case isProfiler(recvType):
+		kind = "StageProfiler"
+	default:
 		return
 	}
 	recv, ok := ast.Unparen(sel.X).(*ast.Ident)
 	if !ok {
 		pass.Reportf(call.Pos(),
-			"Tracer method call on %s: hoist the tracer into a local (tr := ...; if tr != nil { ... }) so the disabled path costs one branch", exprString(sel.X))
+			"%s method call on %s: hoist it into a local (x := ...; if x != nil { ... }) so the disabled path costs one branch", kind, exprString(sel.X))
 		return
 	}
 	obj := pass.TypesInfo.Uses[recv]
@@ -78,7 +93,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
 	}
 	if !guarded(pass, obj, stack) {
 		pass.Reportf(call.Pos(),
-			"Tracer method call not dominated by `if %s != nil`: unguarded emission breaks the zero-cost-when-disabled contract", recv.Name)
+			"%s method call not dominated by `if %s != nil`: unguarded emission breaks the zero-cost-when-disabled contract", kind, recv.Name)
 	}
 }
 
@@ -140,6 +155,17 @@ func isTracer(t types.Type) bool {
 	}
 	_, isIface := named.Underlying().(*types.Interface)
 	return isIface
+}
+
+// isProfiler matches the named type StageProfiler (obs.StageProfiler in
+// the real tree, always held through a pointer; fixture-local structs in
+// tests).
+func isProfiler(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "StageProfiler"
 }
 
 func exprString(e ast.Expr) string {

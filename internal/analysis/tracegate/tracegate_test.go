@@ -8,5 +8,5 @@ import (
 )
 
 func TestTracegate(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), tracegate.Analyzer, "core")
+	analysistest.Run(t, analysistest.TestData(), tracegate.Analyzer, "core", "cpu")
 }

@@ -83,6 +83,15 @@ type Config struct {
 	// one (share a metrics Registry via per-run MetricsTracers instead).
 	Tracer obs.Tracer
 
+	// Profiler, when non-nil, attributes coupled-loop wall time,
+	// invocation counts and allocation deltas to named stages (see
+	// obs.StageProfiler). Like Tracer it is hoisted into a local and
+	// every call site sits behind one `if sp != nil` branch, so the nil
+	// case stays allocation-free and within ~1% of baseline (gated by
+	// the root BenchmarkStageProfiler* pair). A StageProfiler belongs to
+	// one run; concurrent simulations must not share one.
+	Profiler *obs.StageProfiler
+
 	// SettleInstructions are executed with the DTM policy live before
 	// statistics are tracked. The paper's measurement windows begin after
 	// 300 M warm-up cycles during which DTM already operates, so
@@ -381,6 +390,11 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 	// temperature against the thresholds so traces pinpoint when and for
 	// how long the chip sat above the trigger.
 	tr := s.cfg.Tracer
+	// sp follows the same hoisted-guard discipline; spActive caches the
+	// per-step sampling decision (StepTick) so unsampled steps pay the
+	// nil check alone.
+	sp := s.cfg.Profiler
+	spActive := false
 	var stepIdx uint64
 	wasAboveTrigger, wasAboveEmergency := false, false
 	prevGate, prevClockStop := 0.0, false
@@ -436,6 +450,12 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 		stalled := false
 		act.Reset()
 
+		if sp != nil {
+			spActive = sp.StepTick()
+		}
+		if sp != nil && spActive {
+			sp.Begin(obs.StageCPUCommit) // opens the cpu pipeline window
+		}
 		switch {
 		case clockStop:
 			// Global clock stopped: no execution, no dynamic power at all.
@@ -449,13 +469,23 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 				dt = stallRemaining
 			}
 			stallRemaining -= dt
+		case sp != nil && spActive:
+			if _, err := s.core.RunGatedProfiled(stepCycles, gates, &act, sp); err != nil {
+				return Result{}, err
+			}
 		default:
 			if _, err := s.core.RunGated(stepCycles, gates, &act); err != nil {
 				return Result{}, err
 			}
 		}
+		if sp != nil && spActive {
+			sp.EndCPU()
+		}
 
 		var err error
+		if sp != nil && spActive {
+			sp.Begin(obs.StagePowerCompute)
+		}
 		activity, err = act.BlockActivity(s.fp, activity)
 		if err != nil {
 			return Result{}, err
@@ -464,10 +494,17 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 		if err != nil {
 			return Result{}, err
 		}
+		if sp != nil && spActive {
+			sp.End(obs.StagePowerCompute)
+			sp.Begin(obs.StageThermalStep)
+		}
 		if err := s.tm.Step(pvec, dt); err != nil {
 			return Result{}, err
 		}
 		temps = s.tm.BlockTemps(temps)
+		if sp != nil && spActive {
+			sp.End(obs.StageThermalStep)
+		}
 		wall += dt
 		stepIdx++
 
@@ -475,6 +512,9 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 		var ht float64
 		if measuring || tr != nil {
 			hi, ht = s.tm.MaxBlockTemp()
+		}
+		if sp != nil && spActive && tr != nil {
+			sp.Begin(obs.StageTraceEmit)
 		}
 		if tr != nil {
 			tr.Emit(&obs.Event{
@@ -493,6 +533,9 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 				tr.Emit(&obs.Event{Kind: obs.KindCrossing, Time: wall, Cycle: s.core.Cycle(), Step: stepIdx,
 					Measuring: measuring, Threshold: "emergency", Above: above, MaxTemp: ht})
 			}
+		}
+		if sp != nil && spActive && tr != nil {
+			sp.End(obs.StageTraceEmit)
 		}
 
 		// Bookkeeping on true temperatures, once the DTM controllers have
@@ -519,6 +562,9 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 
 		// Apply a pending (ideal-mode) DVS transition.
 		if pendingLevel >= 0 && wall >= pendingAt {
+			if sp != nil && spActive {
+				sp.Begin(obs.StageDVFSActuate)
+			}
 			from := level
 			level = pendingLevel
 			pendingLevel = -1
@@ -530,14 +576,24 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 					Measuring: measuring, Level: level, FromLevel: from, SwitchApplied: true,
 					GateFrac: gates.Fetch, ClockStop: clockStop})
 			}
+			if sp != nil && spActive {
+				sp.End(obs.StageDVFSActuate)
+			}
 		}
 
 		// Sensor sampling and policy decision.
 		for wall >= nextSample {
 			nextSample += samplePeriod
+			if sp != nil && spActive {
+				sp.Begin(obs.StageSensorSample)
+			}
 			readings, err = s.bank.Read(readings, temps)
 			if err != nil {
 				return Result{}, err
+			}
+			if sp != nil && spActive {
+				sp.End(obs.StageSensorSample)
+				sp.Begin(obs.StagePolicyDecide)
 			}
 			var d dtm.Decision
 			var maxR float64
@@ -550,12 +606,27 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 				maxR = sensor.Max(readings)
 				d = s.policy.Sample(maxR, samplePeriod)
 			}
+			if sp != nil && spActive {
+				sp.End(obs.StagePolicyDecide)
+			}
+			if sp != nil && spActive && tr != nil {
+				sp.Begin(obs.StageTraceEmit)
+			}
 			if tr != nil {
 				cyc := s.core.Cycle()
 				tr.Emit(&obs.Event{Kind: obs.KindSensor, Time: wall, Cycle: cyc, Step: stepIdx,
 					Measuring: measuring, Readings: readings, MaxReading: maxR})
 				tr.Emit(&obs.Event{Kind: obs.KindDecision, Time: wall, Cycle: cyc, Step: stepIdx,
 					Measuring: measuring, DecGate: d.GateFrac, DecLevel: d.Level, DecClockStop: d.ClockStop})
+			}
+			if sp != nil && spActive && tr != nil {
+				sp.End(obs.StageTraceEmit)
+			}
+			if sp != nil && spActive {
+				// The remainder of the sample body — gate/clock-stop
+				// application and DVS switch bookkeeping, including its
+				// actuation event — is the dvfs.actuate window.
+				sp.Begin(obs.StageDVFSActuate)
 			}
 			gates = cpu.Gates{Fetch: d.GateFrac, Int: d.IntGate, FP: d.FPGate, Mem: d.MemGate}
 			clockStop = d.ClockStop
@@ -591,6 +662,9 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 					Level: want, FromLevel: fromLevel,
 					SwitchStarted: switched, SwitchStalls: switched && s.cfg.DVSStall,
 					StallRemaining: stallRemaining})
+			}
+			if sp != nil && spActive {
+				sp.End(obs.StageDVFSActuate)
 			}
 		}
 

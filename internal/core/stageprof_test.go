@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybriddtm/internal/obs"
+	"hybriddtm/internal/trace"
+)
+
+// stageProfConfig mirrors TestGoldenTrace's deterministic short-run
+// setup: thresholds below bzip2's idle temperature so the DTM engages
+// from the first sample and the profile contains policy/actuation time.
+func stageProfConfig() Config {
+	cfg := traceConfig()
+	cfg.WarmupCycles = 100_000
+	cfg.InitCycles = 100_000
+	cfg.SettleInstructions = 100_000
+	cfg.Trigger = 70
+	cfg.EmergencyThreshold = 76
+	return cfg
+}
+
+// TestGoldenStageProfile locks the stageprofile.json schema: under an
+// injected stepping clock and allocation counter, a short deterministic
+// bzip2/Hyb run must produce a byte-identical document. Run with -update
+// after an intentional schema change (and bump
+// obs.StageProfileSchemaVersion if the change is breaking).
+func TestGoldenStageProfile(t *testing.T) {
+	cfg := stageProfConfig()
+	prof, ok := trace.ByName("bzip2")
+	if !ok {
+		t.Fatal("bzip2 profile missing")
+	}
+
+	sp := obs.NewStageProfiler(4)
+	// Each clock read advances 1 ns and each allocation read advances 1
+	// object, so the document is a pure function of the call sequence.
+	var now int64
+	var allocs uint64
+	sp.SetHooks(
+		func() int64 { now++; return now },
+		func() uint64 { allocs++; return allocs },
+	)
+	cfg.Profiler = sp
+	ct := &countTracer{t: t, counts: make(map[obs.Kind]int)}
+	cfg.Tracer = ct
+	sim, err := New(cfg, prof, hybPolicy(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := sp.Profile("core_test", "bzip2", "hyb")
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural checks first, so a failure explains itself even when the
+	// fixture is being regenerated.
+	if doc.StepsTotal == 0 || doc.StepsSampled == 0 {
+		t.Fatalf("no steps attributed: %d total / %d sampled", doc.StepsTotal, doc.StepsSampled)
+	}
+	if want := (doc.StepsTotal + 3) / 4; doc.StepsSampled != want {
+		t.Errorf("sampled %d of %d steps with sample_every=4, want %d",
+			doc.StepsSampled, doc.StepsTotal, want)
+	}
+	if doc.AttributedNS <= 0 {
+		t.Fatal("no time attributed")
+	}
+	byName := make(map[string]obs.StageRecord, len(doc.Stages))
+	var fracSum float64
+	for _, r := range doc.Stages {
+		byName[r.Name] = r
+		fracSum += r.Frac
+	}
+	if math.Abs(fracSum-1) > 1e-9 {
+		t.Errorf("stage fractions sum to %v, want ~1", fracSum)
+	}
+	// Per-cycle pipeline stages fire once per profiled cycle, so their
+	// invocation counts agree; step-level windows fire once per sampled
+	// step.
+	if byName["cpu.commit"].Invocations != byName["cpu.dispatch"].Invocations {
+		t.Errorf("commit laps %d != dispatch laps %d",
+			byName["cpu.commit"].Invocations, byName["cpu.dispatch"].Invocations)
+	}
+	for _, name := range []string{"power.compute", "thermal.step"} {
+		if got := byName[name].Invocations; got != doc.StepsSampled {
+			t.Errorf("%s windows = %d, want one per sampled step (%d)", name, got, doc.StepsSampled)
+		}
+	}
+	for _, name := range []string{"cpu.commit", "cpu.fetch", "cache", "bpred",
+		"sensor.sample", "policy.decide", "dvfs.actuate", "trace.emit"} {
+		if byName[name].Invocations == 0 {
+			t.Errorf("stage %s never attributed; widen the run", name)
+		}
+	}
+	// The tracer really saw the run (trace.emit attribution is not vacuous).
+	if !ct.ended || ct.counts[obs.KindSensor] == 0 {
+		t.Errorf("tracer saw ended=%v, %d sensor events", ct.ended, ct.counts[obs.KindSensor])
+	}
+
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "stageprofile_bzip2_hyb.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("stageprofile drifted from golden fixture (%d vs %d bytes); if the change is intentional rerun with -update and bump obs.StageProfileSchemaVersion for breaking changes",
+			len(got), len(want))
+	}
+}
+
+// TestStageProfileRealClock smoke-tests the production configuration (real
+// monotonic clock, runtime/metrics allocation reader, pprof labels) and
+// the invariant that fractions are shares of real attributed time.
+func TestStageProfileRealClock(t *testing.T) {
+	cfg := stageProfConfig()
+	sp := obs.NewStageProfiler(0) // default sampling
+	cfg.Profiler = sp
+	sim, err := New(cfg, gzipProfile(t), hybPolicy(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	doc := sp.Profile("core_test", "gzip", "hyb")
+	if doc.SampleEvery != obs.DefaultStageSampleEvery {
+		t.Errorf("sample_every = %d, want default %d", doc.SampleEvery, obs.DefaultStageSampleEvery)
+	}
+	if doc.StepsSampled == 0 || doc.AttributedNS <= 0 {
+		t.Fatalf("real-clock run attributed nothing: %+v", doc)
+	}
+	var fracSum float64
+	for _, r := range doc.Stages {
+		if r.Nanos < 0 {
+			t.Errorf("stage %s has negative time %d ns (non-monotonic clock?)", r.Name, r.Nanos)
+		}
+		fracSum += r.Frac
+	}
+	if math.Abs(fracSum-1) > 1e-9 {
+		t.Errorf("stage fractions sum to %v, want ~1", fracSum)
+	}
+	// ROADMAP's premise: the cpu pipeline dominates the coupled loop.
+	if cpu := doc.GroupFrac(obs.StageGroupCPU); cpu < 0.5 {
+		t.Errorf("cpu group frac = %.3f; expected the pipeline to dominate", cpu)
+	}
+}

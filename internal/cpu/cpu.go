@@ -22,6 +22,7 @@ import (
 
 	"hybriddtm/internal/bpred"
 	"hybriddtm/internal/cache"
+	"hybriddtm/internal/obs"
 	"hybriddtm/internal/stats"
 	"hybriddtm/internal/trace"
 )
@@ -277,6 +278,25 @@ func (c *Core) Run(n uint64, gateFrac float64, act *Activity) (uint64, error) {
 
 // RunGated is Run with the full set of gating knobs.
 func (c *Core) RunGated(n uint64, gates Gates, act *Activity) (uint64, error) {
+	return c.run(n, gates, act, nil)
+}
+
+// RunGatedProfiled is RunGated with per-stage attribution: on a sampled
+// thermal step core passes the run's StageProfiler and the pipeline loop
+// attributes each stage (commit, the three issue domains, dispatch,
+// fetch, plus the bpred and cache accesses inside them) with chained
+// monotonic timestamps. Unsampled steps take RunGated, so sp here is
+// never a disabled profiler — but every call site still carries the
+// hoisted `if sp != nil` guard, which is both the tracegate-enforced
+// idiom and what keeps the profiler-off path (sp == nil) at one
+// predicted branch per site.
+func (c *Core) RunGatedProfiled(n uint64, gates Gates, act *Activity, sp *obs.StageProfiler) (uint64, error) {
+	return c.run(n, gates, act, sp)
+}
+
+// run is the pipeline loop shared by RunGated (sp == nil: the hot path,
+// branches only) and RunGatedProfiled.
+func (c *Core) run(n uint64, gates Gates, act *Activity, sp *obs.StageProfiler) (uint64, error) {
 	if err := gates.validate(); err != nil {
 		return 0, err
 	}
@@ -287,10 +307,22 @@ func (c *Core) RunGated(n uint64, gates Gates, act *Activity) (uint64, error) {
 	start := c.committed
 	for i := uint64(0); i < n; i++ {
 		c.cycle++
+		if sp != nil {
+			sp.Mark()
+		}
 		c.commit(act)
-		c.issue(gates, act)
+		if sp != nil {
+			sp.Lap(obs.StageCPUCommit)
+		}
+		c.issue(gates, act, sp)
 		c.dispatch(act)
-		c.fetch(gates.Fetch, act)
+		if sp != nil {
+			sp.Lap(obs.StageCPUDispatch)
+		}
+		c.fetch(gates.Fetch, act, sp)
+		if sp != nil {
+			sp.Lap(obs.StageCPUFetch)
+		}
 	}
 	act.Cycles += n
 	return c.committed - start, nil
@@ -365,15 +397,24 @@ func (c *Core) depReadyAt(dep uint64) (uint64, bool) {
 
 // issue selects ready instructions oldest-first per queue, skipping
 // domains whose issue stage is gated this cycle.
-func (c *Core) issue(gates Gates, act *Activity) {
+func (c *Core) issue(gates Gates, act *Activity, sp *obs.StageProfiler) {
 	if !gateTick(&c.intGateAcc, gates.Int) {
 		c.issueInt(act)
+	}
+	if sp != nil {
+		sp.Lap(obs.StageCPUIssueInt)
 	}
 	if !gateTick(&c.fpGateAcc, gates.FP) {
 		c.issueFP(act)
 	}
+	if sp != nil {
+		sp.Lap(obs.StageCPUIssueFP)
+	}
 	if !gateTick(&c.memGateAcc, gates.Mem) {
-		c.issueMem(act)
+		c.issueMem(act, sp)
+	}
+	if sp != nil {
+		sp.Lap(obs.StageCPUIssueMem)
 	}
 }
 
@@ -426,7 +467,7 @@ func (c *Core) issueFP(act *Activity) {
 	c.fpWait = out
 }
 
-func (c *Core) issueMem(act *Activity) {
+func (c *Core) issueMem(act *Activity, sp *obs.StageProfiler) {
 	// Retire completed MSHRs first.
 	live := c.mshr[:0]
 	for _, t := range c.mshr {
@@ -453,7 +494,15 @@ func (c *Core) issueMem(act *Activity) {
 		}
 		issued++
 		e.issued = true
+		// Carve the cache access out of the issue_mem interval so the
+		// "cache" stage is a leaf and fractions stay disjoint.
+		if sp != nil {
+			sp.Lap(obs.StageCPUIssueMem)
+		}
 		res := c.mem.Data(e.addr)
+		if sp != nil {
+			sp.Lap(obs.StageCache)
+		}
 		act.DCacheAccesses++
 		act.DTBAccesses++
 		lat := c.cfg.Caches.L1D.Latency
@@ -577,7 +626,7 @@ func (c *Core) dispatch(act *Activity) {
 
 // fetch brings instructions into the fetch queue, subject to gating,
 // I-cache misses and branch redirects.
-func (c *Core) fetch(gateFrac float64, act *Activity) {
+func (c *Core) fetch(gateFrac float64, act *Activity, sp *obs.StageProfiler) {
 	// Resolve a pending branch redirect.
 	if c.blockState == blockWaitResolve {
 		e := &c.rob[c.blockSeq%uint64(c.cfg.ROBSize)]
@@ -620,7 +669,13 @@ func (c *Core) fetch(gateFrac float64, act *Activity) {
 	}
 
 	// One I-cache (and I-TLB) access per fetch group.
+	if sp != nil {
+		sp.Lap(obs.StageCPUFetch)
+	}
 	res := c.mem.Instruction(c.pending.PC)
+	if sp != nil {
+		sp.Lap(obs.StageCache)
+	}
 	act.FetchGroups++
 	act.ITBAccesses++
 	if !res.L1Hit {
@@ -646,8 +701,14 @@ func (c *Core) fetch(gateFrac float64, act *Activity) {
 		endGroup := false
 		if inst.Class == trace.Branch {
 			act.BPredAccesses++
+			if sp != nil {
+				sp.Lap(obs.StageCPUFetch)
+			}
 			pred := c.bp.Predict(inst.PC)
 			correct := c.bp.Update(inst.PC, inst.Taken)
+			if sp != nil {
+				sp.Lap(obs.StageBPred)
+			}
 			fe.mispredict = !correct
 			if fe.mispredict {
 				c.blockState = blockWaitDispatch

@@ -323,10 +323,14 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 
 // promName rewrites a metric name into the Prometheus exposition
 // alphabet [a-zA-Z0-9_:] (dots become underscores, anything else exotic
-// likewise; a leading digit gains an underscore prefix).
+// likewise; a leading digit gains an underscore prefix; the empty name
+// becomes "_" so the sample line still parses).
 func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
 	var b strings.Builder
-	if len(name) > 0 && name[0] >= '0' && name[0] <= '9' {
+	if name[0] >= '0' && name[0] <= '9' {
 		b.WriteByte('_')
 	}
 	for _, c := range name {

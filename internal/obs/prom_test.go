@@ -58,12 +58,13 @@ func TestDefaultSizeBuckets(t *testing.T) {
 	}
 }
 
-// parsePrometheus is a minimal exposition-format (0.0.4) lint: every
+// lintPrometheus is a minimal exposition-format (0.0.4) lint: every
 // non-comment line must be `name{labels} value` or `name value`, every
 // metric must be preceded by matching HELP/TYPE comments, and names must
-// match the Prometheus grammar.
-func parsePrometheus(t *testing.T, text string) map[string]float64 {
-	t.Helper()
+// match the Prometheus grammar. It returns the parsed samples keyed by
+// series, or the first violation. The fuzz target shares it with the
+// golden tests, so it must stay test-framework-free.
+func lintPrometheus(text string) (map[string]float64, error) {
 	values := map[string]float64{}
 	typed := map[string]string{}
 	sc := bufio.NewScanner(strings.NewReader(text))
@@ -78,51 +79,63 @@ func parsePrometheus(t *testing.T, text string) map[string]float64 {
 				switch rest {
 				case "counter", "gauge", "summary", "histogram", "untyped":
 				default:
-					t.Errorf("invalid TYPE %q in %q", rest, line)
+					return nil, fmt.Errorf("invalid TYPE %q in %q", rest, line)
 				}
 				typed[name] = rest
 				continue
 			}
 			if !strings.HasPrefix(line, "# HELP ") {
-				t.Errorf("unrecognized comment line %q", line)
+				return nil, fmt.Errorf("unrecognized comment line %q", line)
 			}
 			continue
 		}
 		sp := strings.LastIndexByte(line, ' ')
 		if sp < 0 {
-			t.Fatalf("sample line %q has no value", line)
+			return nil, fmt.Errorf("sample line %q has no value", line)
 		}
 		series, valStr := line[:sp], line[sp+1:]
 		v, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
-			t.Fatalf("sample %q: bad value: %v", line, err)
+			return nil, fmt.Errorf("sample %q: bad value: %v", line, err)
 		}
 		name := series
 		if i := strings.IndexByte(series, '{'); i >= 0 {
 			if !strings.HasSuffix(series, "}") {
-				t.Errorf("unterminated label set in %q", line)
+				return nil, fmt.Errorf("unterminated label set in %q", line)
 			}
 			name = series[:i]
 		}
 		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
 		if _, ok := typed[name]; !ok {
 			if _, ok := typed[base]; !ok {
-				t.Errorf("sample %q has no preceding TYPE comment", line)
+				return nil, fmt.Errorf("sample %q has no preceding TYPE comment", line)
 			}
+		}
+		if name == "" {
+			return nil, fmt.Errorf("sample %q has an empty metric name", line)
 		}
 		for i, c := range name {
 			ok := c == '_' || c == ':' ||
 				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
 				(i > 0 && c >= '0' && c <= '9')
 			if !ok {
-				t.Errorf("metric name %q violates the Prometheus grammar", name)
-				break
+				return nil, fmt.Errorf("metric name %q violates the Prometheus grammar", name)
 			}
 		}
 		values[series] = v
 	}
 	if err := sc.Err(); err != nil {
-		t.Fatalf("scan: %v", err)
+		return nil, fmt.Errorf("scan: %v", err)
+	}
+	return values, nil
+}
+
+// parsePrometheus wraps lintPrometheus for the golden tests.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	values, err := lintPrometheus(text)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return values
 }
@@ -191,6 +204,46 @@ func TestPromNameSanitizes(t *testing.T) {
 			t.Errorf("promName(%q) = %q, want %q", in, got, want)
 		}
 	}
+}
+
+// FuzzPromExposition: whatever the registry is asked to hold — including
+// names outside the Prometheus alphabet, leading digits, or nothing at
+// all — WritePrometheus must emit text the 0.0.4 grammar accepts. The
+// seeds are the registry names the real services publish plus the known
+// promName edge cases.
+func FuzzPromExposition(f *testing.F) {
+	for _, seed := range []string{
+		MetricServeJobs,
+		MetricServeQueueDepth,
+		MetricServeJobSeconds,
+		MetricServeQueueWait,
+		MetricServeRunSecs,
+		MetricServeTraceTTFB,
+		MetricServeRespBytes,
+		MetricTriggerSeconds,
+		MetricPoolJobSeconds,
+		MetricStagePrefix + "thermal.step_frac",
+		"9lives", // leading digit must gain an underscore prefix
+		"",
+		"a-b c",
+		"temp.°C",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		r := NewRegistry()
+		r.Counter(name).Inc()
+		r.Gauge(name + ".gauge").Set(1.5)
+		r.Histogram(name + ".hist").Observe(0.004)
+		r.Histogram(name + ".empty") // NaN quantiles must still parse
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus(%q): %v", name, err)
+		}
+		if _, err := lintPrometheus(buf.String()); err != nil {
+			t.Fatalf("exposition for %q violates the 0.0.4 grammar: %v\n%s", name, err, buf.String())
+		}
+	})
 }
 
 func TestMetricsPromEndpoint(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"hybriddtm/internal/obs"
 	"hybriddtm/internal/stats"
 )
 
@@ -117,6 +118,10 @@ func (r *Report) sections() []section {
 		})
 	}
 
+	for _, sp := range r.StageProfiles {
+		out = append(out, stageSection(sp))
+	}
+
 	if len(r.Skipped) > 0 {
 		t := table{Head: []string{"file"}}
 		for _, s := range r.Skipped {
@@ -192,6 +197,51 @@ func TimelineSVGs(tr TraceSummary) []string {
 		},
 	}
 	return []string{thermal.SVG(), actuate.SVG()}
+}
+
+// stageGroupColors assigns each stage group a color from the report
+// palette for the attribution bar.
+var stageGroupColors = map[string]string{
+	obs.StageGroupCPU:     colorGate,
+	obs.StageGroupPower:   colorTrigger,
+	obs.StageGroupThermal: colorTemp,
+	obs.StageGroupPolicy:  colorLevel,
+	obs.StageGroupTrace:   colorEmergency,
+}
+
+// stageSection renders one stage profile: where the coupled loop's wall
+// time went, per stage and stacked by group.
+func stageSection(sp obs.StageProfile) section {
+	sec := section{Title: fmt.Sprintf("Where the time goes: %s under %s", sp.Benchmark, sp.Policy)}
+	sec.Prose = append(sec.Prose, fmt.Sprintf(
+		"%s — %d of %d thermal steps sampled (every %d), %.3g ms attributed, %d alloc(s) in the CPU pipeline.",
+		sp.Tool, sp.StepsSampled, sp.StepsTotal, sp.SampleEvery,
+		float64(sp.AttributedNS)/1e6, sp.CPUPipelineAllocs))
+
+	t := table{Head: []string{"stage", "group", "share", "time", "invocations", "allocs"}}
+	for _, rec := range sp.Stages {
+		if rec.Invocations == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			rec.Name,
+			rec.Group,
+			fmtPct(rec.Frac),
+			fmt.Sprintf("%.3gms", float64(rec.Nanos)/1e6),
+			fmt.Sprintf("%d", rec.Invocations),
+			fmt.Sprintf("%d", rec.Allocs),
+		})
+	}
+	sec.Tables = append(sec.Tables, t)
+
+	segs := make([]barSegment, 0, len(obs.StageGroups()))
+	for _, g := range obs.StageGroups() {
+		segs = append(segs, barSegment{Name: g, Color: stageGroupColors[g], Frac: sp.GroupFrac(g)})
+	}
+	sec.SVGs = append(sec.SVGs, stackedBar(
+		fmt.Sprintf("%s / %s: attributed loop time by stage group", sp.Benchmark, sp.Policy),
+		segs, 720))
+	return sec
 }
 
 // comparisonSection renders the figure reproductions plus their envelope

@@ -8,7 +8,8 @@
 // recorded perf trajectory across snapshots.
 //
 // All documents are discriminated by a top-level "kind" field ("manifest",
-// "bench", "results"); .jsonl files are schema-v1 traces. LoadDir
+// "bench", "results", "stageprofile"); .jsonl files are schema-v1 traces.
+// LoadDir
 // classifies by content, not by file name, so artifact naming is free.
 // Rendering is deterministic: inputs are sorted, floats are printed with
 // fixed precision, and nothing in the output depends on the clock or the
@@ -252,13 +253,14 @@ func (e Envelope) Evaluate(docs []Results) []Check {
 
 // Report is everything LoadDir found, ready to render.
 type Report struct {
-	Dirs      []string
-	Manifests []obs.Manifest
-	Traces    []TraceSummary
-	Results   []Results
-	Snapshots []obs.BenchSnapshot
-	Checks    []Check
-	Skipped   []string // files present but not classifiable
+	Dirs          []string
+	Manifests     []obs.Manifest
+	Traces        []TraceSummary
+	Results       []Results
+	Snapshots     []obs.BenchSnapshot
+	StageProfiles []obs.StageProfile
+	Checks        []Check
+	Skipped       []string // files present but not classifiable
 }
 
 // LoadDir ingests every artifact in the given directories (non-recursive;
@@ -314,6 +316,16 @@ func LoadDir(dirs ...string) (*Report, error) {
 		}
 		return a.GitSHA < b.GitSHA
 	})
+	sort.SliceStable(rep.StageProfiles, func(i, j int) bool {
+		a, b := rep.StageProfiles[i], rep.StageProfiles[j]
+		if a.Tool != b.Tool {
+			return a.Tool < b.Tool
+		}
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		return a.Policy < b.Policy
+	})
 	rep.Checks = PaperEnvelope.Evaluate(rep.Results)
 	return rep, nil
 }
@@ -343,6 +355,12 @@ func (r *Report) loadJSON(path string) error {
 			return err
 		}
 		r.Snapshots = append(r.Snapshots, s)
+	case obs.KindStageProfile:
+		s, err := obs.LoadStageProfile(path)
+		if err != nil {
+			return err
+		}
+		r.StageProfiles = append(r.StageProfiles, s)
 	case KindResults:
 		var res Results
 		if err := json.Unmarshal(data, &res); err != nil {

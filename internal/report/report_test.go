@@ -46,6 +46,9 @@ func TestLoadDirClassification(t *testing.T) {
 	if len(rep.Snapshots) != 2 {
 		t.Fatalf("snapshots = %d, want 2", len(rep.Snapshots))
 	}
+	if len(rep.StageProfiles) != 1 || rep.StageProfiles[0].Benchmark != "bzip2" || rep.StageProfiles[0].Policy != "hyb" {
+		t.Fatalf("stage profiles = %+v, want one bzip2/hyb", rep.StageProfiles)
+	}
 	// Trajectory is oldest-first.
 	if !rep.Snapshots[0].Start.Before(rep.Snapshots[1].Start) {
 		t.Error("snapshots not sorted by start time")
@@ -152,6 +155,8 @@ func TestGoldenReport(t *testing.T) {
 		"Timeline: bzip2 under hyb",
 		"Policy comparison",
 		"Performance trajectory",
+		"Where the time goes: bzip2 under hyb",
+		"cpu.commit",
 		"PASS",
 	} {
 		if !strings.Contains(html, want) {

@@ -199,6 +199,69 @@ func Sparkline(values []float64, w, h int, color string) string {
 	return b.String()
 }
 
+// barSegment is one share of a StackedBar.
+type barSegment struct {
+	Name  string
+	Color string
+	Frac  float64 // share of the bar, [0,1]
+}
+
+// stackedBar renders fractional shares as one horizontal stacked bar with
+// a legend underneath — the "where the time goes" chart. Segments with a
+// non-positive fraction are dropped; the rest are drawn in the given
+// order, widths rounded to a tenth of a pixel, so the output is
+// byte-stable for byte-stable inputs.
+func stackedBar(title string, segs []barSegment, w int) string {
+	if w <= 0 {
+		w = 720
+	}
+	const (
+		barY = 26
+		barH = 28
+	)
+	h := barY + barH + 24 // title + bar + one legend row
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" width="%d" height="%d" role="img">`, w, h, w, h)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%d" height="%d" fill="#ffffff"/>`+"\n", w, h)
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="0" y="16" font-family="sans-serif" font-size="12" fill="#222">%s</text>`+"\n",
+			html.EscapeString(title))
+	}
+	inner := float64(w)
+	x := 0.0
+	for _, s := range segs {
+		if s.Frac <= 0 {
+			continue
+		}
+		sw := s.Frac * inner
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="#ffffff" stroke-width="1"/>`+"\n",
+			x, barY, sw, barH, s.Color)
+		// Label inside the segment when it fits (~7px per character).
+		label := fmt.Sprintf("%s %.1f%%", s.Name, 100*s.Frac)
+		if sw >= float64(7*len(label)+8) {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" fill="#ffffff">%s</text>`+"\n",
+				x+4, barY+barH/2+4, html.EscapeString(label))
+		}
+		x += sw
+	}
+	// Legend: every segment, including those too thin to label inline.
+	lx := 0
+	ly := barY + barH + 16
+	for _, s := range segs {
+		if s.Frac <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, s.Color)
+		label := fmt.Sprintf("%s %.1f%%", s.Name, 100*s.Frac)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" fill="#222">%s</text>`+"\n",
+			lx+14, ly, html.EscapeString(label))
+		lx += 22 + 7*len(label)
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
 // fmtTick formats an axis extreme compactly and stably.
 func fmtTick(v float64) string {
 	a := math.Abs(v)

@@ -41,6 +41,21 @@ func testClock() func() time.Time {
 	}
 }
 
+// testUptime returns a sinceStart whose calls step deterministically: the
+// n-th call yields n seconds. Uptime is monotonic by construction (it is
+// an elapsed-time reading), and the stepping fake preserves that while
+// keeping golden bodies byte-stable.
+func testUptime() func() time.Duration {
+	var mu sync.Mutex
+	n := 0
+	return func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return time.Duration(n) * time.Second
+	}
+}
+
 // contractServer builds the deterministic server the contract script runs
 // against: 1 worker, queue depth 1, gated, frozen clock, span tracing on.
 func contractServer(t *testing.T) (*Server, *httptest.Server, chan struct{}) {
@@ -59,9 +74,9 @@ func contractServer(t *testing.T) (*Server, *httptest.Server, chan struct{}) {
 		t.Fatalf("New: %v", err)
 	}
 	srv.now = testClock()
-	// Pin uptime's anchor to the stepping clock's base so /healthz and the
+	// Pin the uptime source to its own stepping fake so /healthz and the
 	// dashboard report deterministic uptimes.
-	srv.started = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	srv.sinceStart = testUptime()
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {
@@ -327,6 +342,178 @@ func assertSpanLifecycle(t *testing.T, body []byte) {
 	}
 }
 
+// TestHealthUptimeMonotonic pins the NTP-step contract: uptime_s derives
+// from the monotonic elapsed-time source, not wall-clock subtraction, so
+// two scrapes straddling a backwards wall-clock step still report
+// strictly increasing uptime.
+func TestHealthUptimeMonotonic(t *testing.T) {
+	srv, err := New(Config{Workers: 1, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// The wall clock steps one hour BACKWARDS per read — the NTP scenario
+	// that used to drive now()-started uptime negative.
+	var mu sync.Mutex
+	n := 0
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	srv.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return base.Add(-time.Duration(n) * time.Hour)
+	}
+	srv.sinceStart = testUptime()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+
+	scrape := func() float64 {
+		resp, body := do(t, http.MethodGet, ts.URL+"/healthz", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/healthz: HTTP %d: %s", resp.StatusCode, body)
+		}
+		var h healthResponse
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("/healthz: %v", err)
+		}
+		return h.UptimeS
+	}
+	u1 := scrape()
+	u2 := scrape()
+	if !(u2 > u1) {
+		t.Errorf("uptime not monotonic across a backwards clock step: %v then %v", u1, u2)
+	}
+	if u1 < 0 || u2 < 0 {
+		t.Errorf("negative uptime: %v, %v", u1, u2)
+	}
+}
+
+// TestDashboardHistoryEviction pins the finished-ring FIFO: with
+// DashboardHistory=2, finishing a third job evicts the OLDEST finished
+// ring, and the survivors keep submission order.
+func TestDashboardHistoryEviction(t *testing.T) {
+	srv, err := New(Config{
+		Workers:          1,
+		QueueDepth:       8,
+		CacheDir:         t.TempDir(),
+		Spans:            true,
+		DashboardHistory: 2,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+
+	for i, cfg := range []string{
+		`{"benchmark": "art", "policy": "hyb", "instructions": 100000, "scale": "smoke"}`,
+		`{"benchmark": "gcc", "policy": "dvs", "instructions": 100000, "scale": "smoke"}`,
+		`{"benchmark": "gzip", "policy": "fg", "instructions": 100000, "scale": "smoke"}`,
+	} {
+		resp, body := do(t, http.MethodPost, ts.URL+"/v1/jobs", cfg)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d: %s", i+1, resp.StatusCode, body)
+		}
+		id := fmt.Sprintf("j-%06d", i+1)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if err := srv.WaitJob(ctx, id); err != nil {
+			cancel()
+			t.Fatalf("WaitJob %s: %v", id, err)
+		}
+		cancel()
+	}
+
+	srv.mu.Lock()
+	done := append([]string(nil), srv.doneRings...)
+	evictedRing := srv.jobs["j-000001"].ring
+	kept2 := srv.jobs["j-000002"].ring
+	kept3 := srv.jobs["j-000003"].ring
+	srv.mu.Unlock()
+	if want := []string{"j-000002", "j-000003"}; fmt.Sprint(done) != fmt.Sprint(want) {
+		t.Errorf("doneRings = %v, want %v (oldest evicted first)", done, want)
+	}
+	if evictedRing != nil {
+		t.Error("oldest job's ring survived past the history cap")
+	}
+	if kept2 == nil || kept3 == nil {
+		t.Error("a job inside the history cap lost its ring")
+	}
+}
+
+// TestDashboardStageAttribution: with StageProfile on, a finished job
+// leaves a stage-profile document behind, the dashboard renders the
+// "Stage attribution" section, and the sim.stage.* gauges land in the
+// registry's Prometheus exposition.
+func TestDashboardStageAttribution(t *testing.T) {
+	srv, err := New(Config{
+		Workers:      1,
+		CacheDir:     t.TempDir(),
+		StageProfile: true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+
+	resp, body := do(t, http.MethodPost, ts.URL+"/v1/jobs",
+		`{"benchmark": "gzip", "policy": "hyb", "instructions": 100000, "scale": "smoke"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.WaitJob(ctx, "j-000001"); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+
+	doc, ok := srv.StageProfileDoc()
+	if !ok {
+		t.Fatal("no stage profile after a finished job with StageProfile on")
+	}
+	if doc.Benchmark != "gzip" || doc.Policy != "hyb" || doc.StepsSampled == 0 {
+		t.Errorf("stage profile = %s/%s with %d sampled steps", doc.Benchmark, doc.Policy, doc.StepsSampled)
+	}
+
+	resp, body = do(t, http.MethodGet, ts.URL+"/v1/dashboard", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/dashboard: HTTP %d", resp.StatusCode)
+	}
+	for _, want := range []string{"Stage attribution", "thermal.step", "gzip under hyb"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+
+	resp, body = do(t, http.MethodGet, ts.URL+"/metrics.prom", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics.prom: HTTP %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "sim_stage_thermal_step_frac") {
+		t.Errorf("exposition missing sim_stage_thermal_step_frac:\n%.400s", body)
+	}
+}
+
 // submittedKey reads a job's cache key off its status response.
 func submittedKey(t *testing.T, base, id string) string {
 	t.Helper()
@@ -353,7 +540,7 @@ func TestContractCanceledResult(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	srv.now = testClock()
-	srv.started = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	srv.sinceStart = testUptime()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

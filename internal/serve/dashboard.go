@@ -57,10 +57,8 @@ type dashboardState struct {
 
 // snapshotState collects the occupancy numbers under the server mutex.
 func (s *Server) snapshotState() dashboardState {
-	uptime := s.now().Sub(s.started).Seconds()
-	if uptime < 0 {
-		uptime = 0
-	}
+	// Same monotonic uptime source as /healthz (see handleHealth).
+	uptime := s.sinceStart().Seconds()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := dashboardState{
@@ -190,6 +188,26 @@ p.meta { color: #555; }
 			report.Sparkline(shape, 120, 24, "#2980b9"))
 	}
 	b.WriteString("</table>\n")
+
+	// Where the time goes: the most recent job's per-stage coupled-loop
+	// attribution (servers running with StageProfile only, so the section
+	// is absent — and goldens unchanged — on profile-off servers).
+	if doc, ok := s.StageProfileDoc(); ok {
+		b.WriteString("<h2>Stage attribution</h2>\n")
+		fmt.Fprintf(&b, "<p class=\"meta\">last profiled job: %s under %s · %d/%d steps sampled</p>\n",
+			html.EscapeString(doc.Benchmark), html.EscapeString(doc.Policy),
+			doc.StepsSampled, doc.StepsTotal)
+		b.WriteString("<table>\n<tr><th>stage</th><th>group</th><th>share</th><th>time</th></tr>\n")
+		for _, rec := range doc.Stages {
+			if rec.Invocations == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%.1f%%</td><td>%.3gms</td></tr>\n",
+				html.EscapeString(rec.Name), html.EscapeString(rec.Group),
+				100*rec.Frac, float64(rec.Nanos)/1e6)
+		}
+		b.WriteString("</table>\n")
+	}
 
 	// Job table, submission order.
 	b.WriteString("<h2>Jobs</h2>\n")

@@ -78,6 +78,14 @@ type Config struct {
 	// DashboardEvents bounds each running job's in-memory event ring when
 	// Spans is enabled. Default: 512.
 	DashboardEvents int
+	// DashboardHistory bounds how many finished jobs keep their event ring
+	// for the dashboard's "recently finished" timelines (FIFO eviction).
+	// Default: 8.
+	DashboardHistory int
+	// StageProfile attaches a per-stage coupled-loop profiler to every
+	// executed job, publishing sim.stage.<name>_ns/_frac gauges into the
+	// registry after each run (last job wins, like any gauge).
+	StageProfile bool
 
 	// gate, when non-nil, is received from once per dequeued job, after it
 	// turns "running" and before it executes. In-package tests use it to
@@ -104,6 +112,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DashboardEvents <= 0 {
 		c.DashboardEvents = 512
+	}
+	if c.DashboardHistory <= 0 {
+		c.DashboardHistory = defaultDashboardHistory
 	}
 	return c
 }
@@ -144,14 +155,15 @@ type Server struct {
 	// simulator's own), so a frozen clock only freezes bookkeeping.
 	now func() time.Time
 
+	// sinceStart is the uptime source: a monotonic elapsed-time reading
+	// anchored at construction, so NTP/wall-clock steps cannot make
+	// /healthz uptime jump or run backwards. Tests pin it alongside now.
+	sinceStart func() time.Duration
+
 	// baseCtx governs job execution. Graceful Shutdown does NOT cancel it
 	// (in-flight jobs drain to completion); Close does.
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
-
-	// started anchors the uptime reported by /healthz and the dashboard;
-	// tests pin it together with now.
-	started time.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -163,6 +175,10 @@ type Server struct {
 	// so recently finished timelines linger on the dashboard without
 	// retaining every ring forever.
 	doneRings []string
+
+	// lastProfile is the most recent job's stage attribution (nil until a
+	// StageProfile-enabled job finishes); guarded by mu.
+	lastProfile *obs.StageProfile
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -178,9 +194,10 @@ type Server struct {
 	respBytes  *obs.Histogram // serve.response_bytes
 }
 
-// keepDoneRings bounds how many finished jobs keep their event ring for
-// the dashboard's "recently finished" timelines.
-const keepDoneRings = 8
+// defaultDashboardHistory is the default Config.DashboardHistory: how
+// many finished jobs keep their event ring for the dashboard's "recently
+// finished" timelines.
+const defaultDashboardHistory = 8
 
 // New builds a server and starts its worker pool.
 func New(cfg Config) (*Server, error) {
@@ -190,6 +207,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	baseCtx, cancelAll := context.WithCancel(context.Background())
+	start := time.Now()
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Metrics,
@@ -198,7 +216,7 @@ func New(cfg Config) (*Server, error) {
 		cache:      cache,
 		log:        cfg.Logger,
 		now:        time.Now,
-		started:    time.Now(),
+		sinceStart: func() time.Duration { return time.Since(start) },
 		jobs:       make(map[string]*job),
 		byKey:      make(map[string]*job),
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -219,6 +237,17 @@ func New(cfg Config) (*Server, error) {
 
 // Metrics returns the server's registry.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// StageProfileDoc returns the most recent job's stage attribution
+// document, with ok=false until a StageProfile-enabled job has run.
+func (s *Server) StageProfileDoc() (obs.StageProfile, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastProfile == nil {
+		return obs.StageProfile{}, false
+	}
+	return *s.lastProfile, true
+}
 
 // Cache returns the persistent result cache.
 func (s *Server) Cache() *Cache { return s.cache }
@@ -382,9 +411,9 @@ func (s *Server) execute(j *job) {
 	}
 	if j.ring != nil {
 		// Keep the ring so the dashboard shows recently finished
-		// timelines, but only the newest keepDoneRings of them.
+		// timelines, but only the newest DashboardHistory of them.
 		s.doneRings = append(s.doneRings, j.id)
-		if len(s.doneRings) > keepDoneRings {
+		if len(s.doneRings) > s.cfg.DashboardHistory {
 			oldest := s.doneRings[0]
 			s.doneRings = s.doneRings[1:]
 			if oj, ok := s.jobs[oldest]; ok {
@@ -432,6 +461,22 @@ func (s *Server) simulate(j *job) (experiments.Measurement, error) {
 		j.ring = ring
 		s.mu.Unlock()
 		cfg.Tracer = ring
+	}
+
+	// Each job gets its own profiler (a StageProfiler serves one run);
+	// the finished attribution lands in the shared registry, so the
+	// dashboard and /metrics track the most recent job's stage split.
+	var sp *obs.StageProfiler
+	if s.cfg.StageProfile {
+		sp = obs.NewStageProfiler(0)
+		cfg.Profiler = sp
+		defer func() {
+			doc := sp.Profile("dtmserve", j.cfg.Benchmark, j.cfg.Policy)
+			sp.Publish(s.reg)
+			s.mu.Lock()
+			s.lastProfile = &doc
+			s.mu.Unlock()
+		}()
 	}
 
 	var traceTmp string
@@ -887,10 +932,9 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	uptime := s.now().Sub(s.started).Seconds()
-	if uptime < 0 {
-		uptime = 0
-	}
+	// Monotonic by construction: sinceStart reads elapsed time, not the
+	// wall clock, so a stepped system clock cannot move uptime backwards.
+	uptime := s.sinceStart().Seconds()
 	s.mu.Lock()
 	resp := healthResponse{
 		Status:   "ok",

@@ -185,4 +185,9 @@ func TestDtmreportGolden(t *testing.T) {
 	if !strings.Contains(string(out), "REGRESSION") {
 		t.Errorf("gate failure does not show the regressed metric:\n%s", out)
 	}
+	// The fixtures carry sim.stage.*_frac, so the gate failure must also
+	// name the stage whose share of loop time grew the most.
+	if !strings.Contains(string(out), "fastest-growing stage: thermal") {
+		t.Errorf("gate failure does not name the suspect stage:\n%s", out)
+	}
 }
