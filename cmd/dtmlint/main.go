@@ -1,6 +1,7 @@
 // Command dtmlint is the repository's domain linter: a multichecker over
-// the five dtmlint analyzers (detguard, floatzone, unitcheck, tracegate,
-// errsink — see internal/analysis/... and DESIGN.md "Static analysis").
+// the seven dtmlint analyzers (detguard, floatzone, unitcheck, tracegate,
+// errsink, allocguard, lockcheck — see internal/analysis/... and
+// DESIGN.md "Static analysis").
 //
 // Two modes:
 //
@@ -13,6 +14,13 @@
 // passes one JSON .cfg per package, and caches results; dtmlint follows
 // the x/tools unitchecker conventions (-V=full version handshake, -flags
 // flag enumeration, exit 2 on findings).
+//
+// Standalone mode additionally accepts -allocguard.report=<file>, which
+// writes allocguard's reachability artifact (every //dtmlint:allocfree
+// root with its local, external, and dynamic call frontier) alongside
+// the normal findings. The flag is standalone-only: under go vet the
+// -flags enumeration stays empty so the vet result cache keys only on
+// the binary hash.
 package main
 
 import (
@@ -23,9 +31,11 @@ import (
 	"strings"
 
 	"hybriddtm/internal/analysis"
+	"hybriddtm/internal/analysis/allocguard"
 	"hybriddtm/internal/analysis/detguard"
 	"hybriddtm/internal/analysis/errsink"
 	"hybriddtm/internal/analysis/floatzone"
+	"hybriddtm/internal/analysis/lockcheck"
 	"hybriddtm/internal/analysis/tracegate"
 	"hybriddtm/internal/analysis/unitcheck"
 )
@@ -36,6 +46,8 @@ var analyzers = []*analysis.Analyzer{
 	unitcheck.Analyzer,
 	tracegate.Analyzer,
 	errsink.Analyzer,
+	allocguard.Analyzer,
+	lockcheck.Analyzer,
 }
 
 func main() {
@@ -71,19 +83,36 @@ func main() {
 		return
 	}
 
+	var reportPath string
+	var patterns []string
 	for _, a := range args {
+		if v, ok := strings.CutPrefix(a, "-allocguard.report="); ok {
+			reportPath = v
+			continue
+		}
 		if strings.HasPrefix(a, "-") {
 			fmt.Fprintf(os.Stderr, "dtmlint: unknown flag %s\n", a)
 			usage(os.Stderr)
 			os.Exit(1)
 		}
+		patterns = append(patterns, a)
 	}
 
 	// Standalone mode.
-	pkgs, err := analysis.Load(".", args...)
+	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dtmlint: %v\n", err)
 		os.Exit(1)
+	}
+	var report io.Writer
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmlint: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		report = f
 	}
 	total := 0
 	for _, cp := range pkgs {
@@ -94,6 +123,12 @@ func main() {
 		}
 		analysis.Print(os.Stderr, findings)
 		total += len(findings)
+		if report != nil {
+			if err := allocguard.Report(cp, report); err != nil {
+				fmt.Fprintf(os.Stderr, "dtmlint: allocguard report: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if total > 0 {
 		fmt.Fprintf(os.Stderr, "dtmlint: %d finding(s)\n", total)
@@ -120,8 +155,11 @@ func selfHash() string {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  dtmlint [packages]                        standalone (default ./...)
+  dtmlint [flags] [packages]                standalone (default ./...)
   go vet -vettool=$(which dtmlint) [pkgs]   via the go vet driver
+
+Flags (standalone only):
+  -allocguard.report=<file>   write the allocguard reachability artifact
 
 Analyzers:`)
 	for _, a := range analyzers {

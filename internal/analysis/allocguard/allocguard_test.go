@@ -1,0 +1,125 @@
+package allocguard_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"hybriddtm/internal/analysis"
+	"hybriddtm/internal/analysis/allocguard"
+	"hybriddtm/internal/analysis/analysistest"
+)
+
+func TestAllocguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), allocguard.Analyzer, "allocfree")
+}
+
+// checkSrc type-checks one self-contained source string.
+func checkSrc(t *testing.T, src string) *analysis.CheckedPackage {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.CheckedPackage{Path: "p", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+// TestMalformedDirective: a fused directive suffix is reported rather
+// than silently ignored (mirroring the //dtmlint:allow word-boundary
+// rule).
+func TestMalformedDirective(t *testing.T) {
+	cp := checkSrc(t, `package p
+
+//dtmlint:allocfreeze
+func Hot() { _ = make([]int, 4) }
+`)
+	findings, err := analysis.Run(cp, []*analysis.Analyzer{allocguard.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (the malformed directive): %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "malformed dtmlint:allocfree") {
+		t.Errorf("finding %q does not name the malformed directive", findings[0].Message)
+	}
+}
+
+// TestReportDeterministic: two Report passes over the same package are
+// byte-identical and list roots, locals, externs, and dynamics.
+func TestReportDeterministic(t *testing.T) {
+	const src = `package p
+
+type T struct{ vals []int }
+
+type sampler interface{ Sample() int }
+
+//dtmlint:allocfree
+func (t *T) Step(s sampler) {
+	t.inner()
+	_ = s.Sample()
+}
+
+func (t *T) inner() {}
+
+//dtmlint:allocfree
+func (t *T) Probe() {
+	t.cold() //dtmlint:allow allocguard init only
+}
+
+func (t *T) cold() { _ = make([]int, 9) }
+`
+	cp := checkSrc(t, src)
+	var a, b bytes.Buffer
+	if err := allocguard.Report(cp, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := allocguard.Report(cp, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("report not deterministic:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"p\n",
+		"root (*T).Step",
+		"local   (*T).inner",
+		"dynamic interface method (p.sampler).Sample",
+		"root (*T).Probe",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The pruned subtree must not appear in Probe's reachable set.
+	if strings.Contains(out, "(*T).cold") {
+		t.Errorf("report lists (*T).cold despite the pruned call edge:\n%s", out)
+	}
+}
+
+// TestReportEmptyWithoutRoots: packages without annotations contribute
+// nothing to the artifact.
+func TestReportEmptyWithoutRoots(t *testing.T) {
+	cp := checkSrc(t, `package p
+
+func f() { _ = make([]int, 1) }
+`)
+	var buf bytes.Buffer
+	if err := allocguard.Report(cp, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("rootless package produced report output:\n%s", buf.String())
+	}
+}

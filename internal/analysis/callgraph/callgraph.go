@@ -1,0 +1,246 @@
+// Package callgraph builds a conservative static call graph over one
+// type-checked package, for the interprocedural dtmlint analyzers
+// (allocguard today; any analyzer that needs reachability can share it).
+//
+// The graph is deliberately modest — it matches what the dtmlint loading
+// pipeline can see. Each analysis pass holds the syntax of exactly one
+// package (dependencies arrive as compiled export data, see
+// internal/analysis/load.go), so edges into other packages are recorded
+// but cannot be traversed: the callee is a leaf with no body. Contract
+// packages therefore each carry their own analyzer annotations, and the
+// graph's job is to close over the package-local helpers those
+// annotated entry points fan out into.
+//
+// Resolution rules:
+//
+//   - direct calls to declared functions and qualified pkg.F calls
+//     become static edges;
+//   - method calls resolve via the static receiver type: a call through
+//     a concrete (non-interface) receiver is a static edge to that
+//     method, a call through an interface is a dynamic call (the
+//     implementation is unknowable without whole-program analysis);
+//   - calls through function values — locals, parameters, struct fields
+//     of function type — are dynamic calls ("unknown sinks"): the graph
+//     records the site and a description but no edge;
+//   - conversions and builtins are not calls and produce nothing
+//     (analyzers that care about make/append/new inspect the syntax
+//     directly).
+//
+// Function literals do not get nodes of their own: their bodies are
+// attributed to the enclosing declared function. For reachability this
+// over-approximates (the closure may never run) in exactly the direction
+// a contract checker wants.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Graph is the call graph of one package.
+type Graph struct {
+	nodes map[*types.Func]*Node
+	// order holds the declared functions in source order, the iteration
+	// order every deterministic consumer wants.
+	order []*types.Func
+}
+
+// Node is one function. Functions declared in the analyzed package carry
+// their declaration and outgoing calls; callees from other packages are
+// leaf nodes with a nil Decl.
+type Node struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl // nil for functions without syntax in this package
+
+	// Calls lists statically resolved call sites in source order.
+	Calls []Edge
+	// Dynamic lists call sites whose target cannot be resolved
+	// statically: interface methods, function values, closures.
+	Dynamic []DynamicCall
+}
+
+// Edge is one statically resolved call site.
+type Edge struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// DynamicCall is an unresolvable call site (an unknown sink).
+type DynamicCall struct {
+	// Desc names what was called, e.g. "interface method (obs.Tracer).Emit"
+	// or "function value cb".
+	Desc string
+	Pos  token.Pos
+}
+
+// Build constructs the call graph of the package held by (files, info,
+// pkg). All four arguments come straight from an analysis.Pass.
+func Build(fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package) *Graph {
+	g := &Graph{nodes: make(map[*types.Func]*Node)}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := g.node(fn)
+			n.Decl = fd
+			g.order = append(g.order, fn)
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				g.addCall(info, n, call)
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// node returns the node for fn, creating a leaf if unseen.
+func (g *Graph) node(fn *types.Func) *Node {
+	if n, ok := g.nodes[fn]; ok {
+		return n
+	}
+	n := &Node{Fn: fn}
+	g.nodes[fn] = n
+	return n
+}
+
+// NodeOf returns fn's node, or nil if fn is neither declared in the
+// package nor called from it.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.nodes[fn] }
+
+// Funcs returns the functions declared in the package, in source order.
+func (g *Graph) Funcs() []*types.Func { return g.order }
+
+// addCall classifies one call site into n's Calls or Dynamic lists.
+func (g *Graph) addCall(info *types.Info, n *Node, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation f[T](...) wraps the callee in an index
+	// expression; unwrap to the underlying identifier.
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			n.Calls = append(n.Calls, Edge{Callee: obj, Pos: call.Pos()})
+			g.node(obj) // ensure a leaf node exists
+		case *types.Var:
+			n.Dynamic = append(n.Dynamic, DynamicCall{
+				Desc: "function value " + fun.Name, Pos: call.Pos()})
+		}
+		// Builtins, type conversions: not calls.
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				fn := sel.Obj().(*types.Func)
+				if types.IsInterface(sel.Recv()) {
+					n.Dynamic = append(n.Dynamic, DynamicCall{
+						Desc: "interface method " + fn.FullName(), Pos: call.Pos()})
+					return
+				}
+				n.Calls = append(n.Calls, Edge{Callee: fn, Pos: call.Pos()})
+				g.node(fn)
+			case types.FieldVal:
+				n.Dynamic = append(n.Dynamic, DynamicCall{
+					Desc: "function-valued field " + sel.Obj().Name(), Pos: call.Pos()})
+			}
+			return
+		}
+		// Qualified identifier pkg.F or method expression via Uses.
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			n.Calls = append(n.Calls, Edge{Callee: obj, Pos: call.Pos()})
+			g.node(obj)
+		case *types.Var:
+			n.Dynamic = append(n.Dynamic, DynamicCall{
+				Desc: "function value " + fun.Sel.Name, Pos: call.Pos()})
+		}
+	case *ast.FuncLit:
+		// Immediately invoked literal: its body is already attributed to
+		// the enclosing function, no edge needed.
+	}
+}
+
+// Reached is one function reachable from a root, with the first root
+// that reached it (roots are processed in the order given).
+type Reached struct {
+	Node *Node
+	Root *types.Func
+}
+
+// Reachable returns every function reachable from roots over static
+// edges, in deterministic order: breadth-first, roots first in the given
+// order, callees in source order. Leaf nodes (callees from other
+// packages) are included but not descended into. Edges for which prune
+// returns true are not followed — this is how call sites annotated
+// //dtmlint:allow cut whole subtrees out of a contract.
+func (g *Graph) Reachable(roots []*types.Func, prune func(Edge) bool) []Reached {
+	var out []Reached
+	seen := make(map[*types.Func]bool)
+	var queue []Reached
+	for _, r := range roots {
+		if n := g.nodes[r]; n != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, Reached{Node: n, Root: r})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for _, e := range cur.Node.Calls {
+			if seen[e.Callee] {
+				continue
+			}
+			if prune != nil && prune(e) {
+				continue
+			}
+			seen[e.Callee] = true
+			queue = append(queue, Reached{Node: g.nodes[e.Callee], Root: cur.Root})
+		}
+	}
+	return out
+}
+
+// FuncLabel renders fn the way the report and diagnostics name
+// functions: Name for package functions, (Recv).Name for methods,
+// without the package qualifier (the reachable set is per package).
+func FuncLabel(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			if named, ok := p.Elem().(*types.Named); ok {
+				return fmt.Sprintf("(*%s).%s", named.Obj().Name(), fn.Name())
+			}
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("(%s).%s", named.Obj().Name(), fn.Name())
+		}
+		return fmt.Sprintf("(%s).%s", t, fn.Name())
+	}
+	return fn.Name()
+}
+
+// SortFuncs orders functions by label, for stable report sections.
+func SortFuncs(fns []*types.Func) {
+	sort.Slice(fns, func(i, j int) bool { return FuncLabel(fns[i]) < FuncLabel(fns[j]) })
+}

@@ -1,0 +1,172 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"hybriddtm/internal/analysis"
+)
+
+// check type-checks one self-contained source string (no imports, so no
+// export data is needed).
+func check(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Info, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}, info, pkg
+}
+
+const src = `package p
+
+type T struct {
+	cb func()
+}
+
+func (t *T) Step() {
+	t.prep()
+	helper()
+	t.cb()
+	var s Sampler = t
+	s.Sample()
+	f := helper
+	f()
+	func() { leafFromLit() }()
+}
+
+func (t *T) prep() { helper() }
+
+func helper() {}
+
+func leafFromLit() {}
+
+func unreached() { helper() }
+
+type Sampler interface{ Sample() }
+
+func (t *T) Sample() {}
+`
+
+func build(t *testing.T) *Graph {
+	t.Helper()
+	fset, files, info, pkg := check(t, src)
+	return Build(fset, files, info, pkg)
+}
+
+func fnByName(t *testing.T, g *Graph, label string) *types.Func {
+	t.Helper()
+	for _, fn := range g.Funcs() {
+		if FuncLabel(fn) == label {
+			return fn
+		}
+	}
+	t.Fatalf("no function %q in graph", label)
+	return nil
+}
+
+func TestStaticEdges(t *testing.T) {
+	g := build(t)
+	step := g.NodeOf(fnByName(t, g, "(*T).Step"))
+	var callees []string
+	for _, e := range step.Calls {
+		callees = append(callees, FuncLabel(e.Callee))
+	}
+	// Source order: t.prep(), helper(), leafFromLit() (attributed to Step
+	// through the literal's body).
+	want := []string{"(*T).prep", "helper", "leafFromLit"}
+	if len(callees) != len(want) {
+		t.Fatalf("Step calls %v, want %v", callees, want)
+	}
+	for i := range want {
+		if callees[i] != want[i] {
+			t.Errorf("call %d = %s, want %s", i, callees[i], want[i])
+		}
+	}
+}
+
+func TestDynamicSinks(t *testing.T) {
+	g := build(t)
+	step := g.NodeOf(fnByName(t, g, "(*T).Step"))
+	var descs []string
+	for _, d := range step.Dynamic {
+		descs = append(descs, d.Desc)
+	}
+	want := []string{
+		"function-valued field cb",
+		"interface method (p.Sampler).Sample",
+		"function value f",
+	}
+	if len(descs) != len(want) {
+		t.Fatalf("Step dynamic sites %v, want %v", descs, want)
+	}
+	for i := range want {
+		if descs[i] != want[i] {
+			t.Errorf("dynamic %d = %q, want %q", i, descs[i], want[i])
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := build(t)
+	step := fnByName(t, g, "(*T).Step")
+	var labels []string
+	for _, r := range g.Reachable([]*types.Func{step}, nil) {
+		labels = append(labels, FuncLabel(r.Node.Fn))
+		if FuncLabel(r.Root) != "(*T).Step" {
+			t.Errorf("%s attributed to root %s", FuncLabel(r.Node.Fn), FuncLabel(r.Root))
+		}
+	}
+	want := []string{"(*T).Step", "(*T).prep", "helper", "leafFromLit"}
+	if len(labels) != len(want) {
+		t.Fatalf("reachable %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("reachable[%d] = %s, want %s", i, labels[i], want[i])
+		}
+	}
+}
+
+func TestReachablePrune(t *testing.T) {
+	g := build(t)
+	step := fnByName(t, g, "(*T).Step")
+	prep := fnByName(t, g, "(*T).prep")
+	reached := g.Reachable([]*types.Func{step}, func(e Edge) bool {
+		return e.Callee == prep
+	})
+	for _, r := range reached {
+		if r.Node.Fn == prep {
+			t.Errorf("pruned edge to prep was still traversed")
+		}
+	}
+	// helper is still reached through the direct Step -> helper edge.
+	found := false
+	for _, r := range reached {
+		if FuncLabel(r.Node.Fn) == "helper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("helper not reached despite direct edge from Step")
+	}
+}
+
+func TestUnreachedStaysOut(t *testing.T) {
+	g := build(t)
+	step := fnByName(t, g, "(*T).Step")
+	for _, r := range g.Reachable([]*types.Func{step}, nil) {
+		if FuncLabel(r.Node.Fn) == "unreached" {
+			t.Errorf("unreached function reported reachable")
+		}
+	}
+}

@@ -8,6 +8,13 @@
 // and `_ =` discards are flagged; a deliberate discard needs a
 // //dtmlint:allow errsink annotation stating why losing the artifact is
 // acceptable.
+//
+// Inside the serve packages the net widens: every Write*/Close/Flush/Sync
+// callee with a trailing error result counts, whatever package defines it.
+// The server's writes land on HTTP responses and persistent cache files,
+// where a swallowed error turns into a silently truncated response or a
+// corrupt cache entry; best-effort writes (an error reply already being
+// written, a detached streaming flush) carry the annotation instead.
 package errsink
 
 import (
@@ -86,6 +93,29 @@ func checkBlankAssign(pass *analysis.Pass, a *ast.AssignStmt) {
 	}
 }
 
+// neverFails reports whether fn is a method of strings.Builder or
+// bytes.Buffer, whose Write* methods keep the io interfaces' error
+// result but are documented to always return a nil error.
+func neverFails(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
 // sinkCallee resolves the callee and reports it when it is a
 // sink/artifact/manifest write: declared in an obs or report package,
 // named Write*/Close/Flush/Sync, returning error as its last result.
@@ -106,10 +136,17 @@ func sinkCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
 	switch analysis.PkgBase(fn.Pkg().Path()) {
 	case "obs", "report":
 	default:
-		return nil
+		// Outside obs/report the name rule applies only within serve,
+		// where the targets are HTTP response and cache-file writes.
+		if analysis.PkgBase(pass.Pkg.Path()) != "serve" {
+			return nil
+		}
 	}
 	name := fn.Name()
 	if !strings.HasPrefix(name, "Write") && name != "Close" && name != "Flush" && name != "Sync" {
+		return nil
+	}
+	if neverFails(fn) {
 		return nil
 	}
 	sig, ok := fn.Type().(*types.Signature)

@@ -368,6 +368,8 @@ func (s *Simulator) Run(instructions uint64) (Result, error) {
 // execution, i.e. a few microseconds of real time), so concurrent drivers
 // can abort a sweep promptly on the first error. A canceled run returns
 // ctx.Err() and leaves no partial Result.
+//
+//dtmlint:allocfree
 func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result, error) {
 	if instructions == 0 {
 		return Result{}, errors.New("core: zero instruction target")
@@ -376,7 +378,7 @@ func (s *Simulator) RunContext(ctx context.Context, instructions uint64) (Result
 		return Result{}, errors.New("core: Simulator.Run called twice; build a fresh Simulator per run")
 	}
 	s.ran = true
-	if err := s.initSteadyState(ctx); err != nil {
+	if err := s.initSteadyState(ctx); err != nil { //dtmlint:allow allocguard one-time init before the measured loop
 		return Result{}, err
 	}
 

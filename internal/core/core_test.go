@@ -154,6 +154,9 @@ func TestDVSPreventsEmergencies(t *testing.T) {
 }
 
 func TestDVSSlowsDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy integration run; minutes under -race on one core")
+	}
 	cfg := quickConfig()
 	base := runQuick(t, cfg, gzipProfile(t), nil, 2_000_000)
 	ladder, _ := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
@@ -208,6 +211,9 @@ func TestClockGatingPreventsEmergencies(t *testing.T) {
 }
 
 func TestIdealDVSFasterThanStall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy integration run; minutes under -race on one core")
+	}
 	// DVS-ideal executes through transitions; DVS-stall does not. For the
 	// same work, stall mode must take at least as long.
 	mk := func(stall bool) Result {
@@ -231,6 +237,9 @@ func TestIdealDVSFasterThanStall(t *testing.T) {
 }
 
 func TestCoolerBenchmarkCoolerChip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy integration run; minutes under -race on one core")
+	}
 	cfg := quickConfig()
 	hot := runQuick(t, cfg, gzipProfile(t), nil, 2_000_000)
 	cool := runQuick(t, cfg, gccProfile(t), nil, 2_000_000)
@@ -302,6 +311,9 @@ func TestSuiteCalibration(t *testing.T) {
 }
 
 func TestLocalTogglingIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy integration run; minutes under -race on one core")
+	}
 	cfg := quickConfig()
 	domains := dtm.Domains{}
 	// Build domains from the EV6 floorplan the simulator uses.
@@ -339,6 +351,9 @@ func TestLocalTogglingIntegration(t *testing.T) {
 }
 
 func TestProactiveIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy integration run; minutes under -race on one core")
+	}
 	cfg := quickConfig()
 	ladder, _ := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
 	mk := func(proactive bool) Result {
@@ -373,6 +388,9 @@ func TestProactiveIntegration(t *testing.T) {
 // limits the excursion, but the run must end hotter than with healthy
 // sensors — quantifying why the margin budget exists.
 func TestStuckSensorOnHotspot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy integration run; minutes under -race on one core")
+	}
 	cfg := quickConfig()
 	ladder, _ := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
 	run := func(stickHotspot bool) Result {

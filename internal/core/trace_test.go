@@ -77,6 +77,9 @@ func (c *countTracer) Emit(ev *obs.Event) {
 // event stream contains thermal-step, sensor, and actuation events, and
 // that the per-run metadata is faithful.
 func TestTraceAllPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy integration run; minutes under -race on one core")
+	}
 	cfg := traceConfig()
 	ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
 	if err != nil {

@@ -173,11 +173,11 @@ func (m *multi) End() {
 // copies.
 type Ring struct {
 	mu    sync.Mutex
-	meta  Meta
-	buf   []Event
-	next  int
-	full  bool
-	total uint64
+	meta  Meta    // guarded-by: mu
+	buf   []Event // guarded-by: mu
+	next  int     // guarded-by: mu
+	full  bool    // guarded-by: mu
+	total uint64  // guarded-by: mu
 }
 
 // NewRing returns a ring tracer holding the most recent n events.

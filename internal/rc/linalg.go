@@ -83,6 +83,8 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 
 // SolveInto solves A x = b writing the result into x, allocation-free.
 // x and b must both have length n; x and b may alias.
+//
+//dtmlint:allocfree
 func (f *LU) SolveInto(x, b []float64) {
 	n := f.n
 	// Apply permutation.
@@ -128,6 +130,8 @@ func MatVec(a [][]float64, x []float64) []float64 {
 }
 
 // MatVecInto computes y = A x into an existing slice. y must not alias x.
+//
+//dtmlint:allocfree
 func MatVecInto(y []float64, a [][]float64, x []float64) {
 	for i, row := range a {
 		var s float64

@@ -205,7 +205,7 @@ func (c *Cache) writeAtomic(path string, data []byte) error {
 	}
 	name := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		tmp.Close() //dtmlint:allow errsink already failing; best-effort cleanup before removing the temp file
 		os.Remove(name)
 		return fmt.Errorf("serve: cache write: %w", err)
 	}

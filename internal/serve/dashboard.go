@@ -251,7 +251,7 @@ p.meta { color: #555; }
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(b.String())) // response write; delivery failures are the client's
+	_, _ = w.Write([]byte(b.String())) //dtmlint:allow errsink response write; delivery failures are the client's
 }
 
 // handleDashboardStream serves the dashboard state as SSE frames. Query

@@ -126,13 +126,13 @@ type job struct {
 	key string
 	cfg JobConfig
 
-	state       string
-	errMsg      string
-	cached      bool // answered from the persistent cache
-	measurement experiments.Measurement
-	submitted   time.Time
-	started     time.Time
-	finished    time.Time
+	state       string                  // guarded-by: Server.mu
+	errMsg      string                  // guarded-by: Server.mu
+	cached      bool                    // guarded-by: Server.mu  (answered from the persistent cache)
+	measurement experiments.Measurement // guarded-by: Server.mu
+	submitted   time.Time               // guarded-by: Server.mu
+	started     time.Time               // guarded-by: Server.mu
+	finished    time.Time               // guarded-by: Server.mu
 	done        chan struct{}
 
 	// spans traces the job's lifecycle stages (nil unless Config.Spans).
@@ -166,25 +166,25 @@ type Server struct {
 	cancelAll context.CancelFunc
 
 	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string
-	byKey    map[string]*job
-	seq      int
-	draining bool
+	jobs     map[string]*job // guarded-by: mu
+	order    []string        // guarded-by: mu
+	byKey    map[string]*job // guarded-by: mu
+	seq      int             // guarded-by: mu
+	draining bool            // guarded-by: mu
 	// doneRings lists jobs whose ring survived completion, oldest first,
 	// so recently finished timelines linger on the dashboard without
 	// retaining every ring forever.
-	doneRings []string
+	doneRings []string // guarded-by: mu
 
 	// lastProfile is the most recent job's stage attribution (nil until a
-	// StageProfile-enabled job finishes); guarded by mu.
-	lastProfile *obs.StageProfile
+	// StageProfile-enabled job finishes).
+	lastProfile *obs.StageProfile // guarded-by: mu
 
 	queue chan *job
 	wg    sync.WaitGroup
 
 	runnersMu sync.Mutex
-	runners   map[string]*experiments.Runner
+	runners   map[string]*experiments.Runner // guarded-by: runnersMu
 
 	queueDepth *obs.Gauge
 	activeJobs *obs.Gauge
@@ -338,7 +338,7 @@ func (s *Server) worker() {
 			j.spans.Begin("run", "job", j.started)
 		}
 		s.mu.Unlock()
-		s.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
+		s.queueWait.Observe(j.started.Sub(j.submitted).Seconds()) //dtmlint:allow lockcheck this worker just wrote started; submitted is frozen at enqueue
 		if s.cfg.gate != nil {
 			<-s.cfg.gate
 		}
@@ -388,7 +388,7 @@ func (s *Server) runnerFor(cfg core.Config, insts uint64) (*experiments.Runner, 
 func (s *Server) execute(j *job) {
 	m, err := s.simulate(j)
 	runEnd := s.now()
-	s.runSecs.Observe(runEnd.Sub(j.started).Seconds())
+	s.runSecs.Observe(runEnd.Sub(j.started).Seconds()) //dtmlint:allow lockcheck started is written once by this worker before execute and stable for the run
 	persisted := err == nil
 	if persisted {
 		err = s.persist(j, m)
@@ -880,7 +880,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no_trace", "trace artifact missing from cache")
 		return
 	}
-	defer f.Close()
+	defer f.Close() //dtmlint:allow errsink read-only artifact handle; a close error cannot lose data
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fw := &firstByteWriter{w: w, observe: func() {
@@ -928,7 +928,7 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(buf) // response stream; delivery failures are the client's
+	_, _ = w.Write(buf) //dtmlint:allow errsink response stream; delivery failures are the client's
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
