@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"hybriddtm/internal/core"
+	"hybriddtm/internal/cpu"
 	"hybriddtm/internal/experiments"
 	"hybriddtm/internal/floorplan"
 	"hybriddtm/internal/hotspot"
@@ -67,6 +68,8 @@ func run(ctx context.Context) error {
 	out := flag.String("out", "", "write machine-readable figure results JSON to this file (input for dtmreport)")
 	snapshotOut := flag.String("snapshot-out", "", "write a BENCH_<sha>.json perf snapshot into this directory (or to this exact path when it ends in .json)")
 	stageProfile := flag.String("stage-profile", "", "write per-stage coupled-loop attribution JSON to this file (dedicated profiled run after the sweep, so gated perf metrics are unaffected)")
+	multiRate := flag.Int("multirate", 0, "fuse up to N thermal steps while the DTM actuators are idle and the chip is well below trigger (0/1 = off; see core.Config.MultiRateMax)")
+	multiRateMargin := flag.Float64("multirate-margin", 0, "headroom in K below trigger required for multi-rate fusion (0 = config default)")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -95,6 +98,12 @@ func run(ctx context.Context) error {
 	opts := experiments.DefaultOptions()
 	opts.Instructions = *insts
 	opts.Workers = *workers
+	if *multiRate > 1 {
+		opts.Config.MultiRateMax = *multiRate
+		if *multiRateMargin > 0 {
+			opts.Config.MultiRateMargin = *multiRateMargin
+		}
+	}
 	if *bench != "" {
 		p, ok := trace.ByName(*bench)
 		if !ok {
@@ -258,6 +267,11 @@ func run(ctx context.Context) error {
 			return err
 		}
 		snap.Add("thermal.cells_per_sec", "cells/s", cellsPerSec, obs.BetterHigher)
+		cpuInstsPerSec, err := measureCPUInstsPerSec()
+		if err != nil {
+			return err
+		}
+		snap.Add("cpu.insts_per_sec", "insts/s", cpuInstsPerSec, obs.BetterHigher)
 		if stageDoc != nil {
 			// Coarse attribution trajectory: BENCH_<sha>.json records how
 			// the cpu/power/thermal/policy/trace split moves across commits.
@@ -333,6 +347,43 @@ func runStageProfile(ctx context.Context, opts experiments.Options, insts uint64
 		return obs.StageProfile{}, err
 	}
 	return sp.Profile("experiments", prof.Name, factory.Name), nil
+}
+
+// measureCPUInstsPerSec times the standalone pipeline micro-workload the
+// perf-snapshot job gates alongside sim.insts_per_sec: the gzip suite
+// profile run through the batched kernels in thermal-step-sized chunks,
+// isolating the cpu model from the power/thermal/policy stages. A warmup
+// run (excluded) trains the caches and branch predictor so the timed
+// window measures steady-state throughput.
+func measureCPUInstsPerSec() (float64, error) {
+	prof, ok := trace.ByName("gzip")
+	if !ok {
+		return 0, fmt.Errorf("gzip profile missing")
+	}
+	g, err := trace.NewGenerator(prof)
+	if err != nil {
+		return 0, err
+	}
+	c, err := cpu.New(cpu.DefaultConfig(), g)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.Run(2_000_000, 0, nil); err != nil {
+		return 0, err
+	}
+	const cycles, chunk = 10_000_000, 10_000
+	var act cpu.Activity
+	begin := time.Now() //dtmlint:allow detguard wall-clock timing of the perf micro-workload
+	for done := 0; done < cycles; done += chunk {
+		if _, err := c.Run(chunk, 0, &act); err != nil {
+			return 0, err
+		}
+	}
+	secs := time.Since(begin).Seconds() //dtmlint:allow detguard wall-clock timing of the perf micro-workload
+	if secs <= 0 {
+		return 0, nil
+	}
+	return float64(act.Committed) / secs, nil
 }
 
 // measureThermalCellsPerSec times the grid thermal micro-workload that the

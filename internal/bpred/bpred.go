@@ -56,6 +56,12 @@ type Predictor struct {
 	chooser []uint8 // 2-bit: ≥2 selects global
 	history uint32
 
+	// Index masks (= entries-1). The table sizes are validated powers of
+	// two, so idx & mask equals idx % entries; the masks keep the modulo
+	// off the per-branch hot path.
+	localMask, globalMask, chooserMask uint64
+	historyMask                        uint32
+
 	accesses   uint64
 	mispredict uint64
 	branches   uint64
@@ -71,6 +77,11 @@ func New(cfg Config) (*Predictor, error) {
 		local:   make([]uint8, cfg.LocalEntries),
 		global:  make([]uint8, cfg.GlobalEntries),
 		chooser: make([]uint8, cfg.ChooserEntries),
+
+		localMask:   uint64(cfg.LocalEntries - 1),
+		globalMask:  uint64(cfg.GlobalEntries - 1),
+		chooserMask: uint64(cfg.ChooserEntries - 1),
+		historyMask: 1<<uint(cfg.HistoryBits) - 1,
 	}
 	for i := range p.local {
 		p.local[i] = 2
@@ -103,9 +114,9 @@ func bump(c uint8, t bool) uint8 {
 func (p *Predictor) Predict(pc uint64) bool {
 	p.accesses++
 	idx := pc >> 2 // instructions are 4-byte aligned; drop the dead bits
-	li := idx % uint64(p.cfg.LocalEntries)
-	gi := (idx ^ uint64(p.history)) % uint64(p.cfg.GlobalEntries)
-	ci := idx % uint64(p.cfg.ChooserEntries)
+	li := idx & p.localMask
+	gi := (idx ^ uint64(p.history)) & p.globalMask
+	ci := idx & p.chooserMask
 	if taken(p.chooser[ci]) {
 		return taken(p.global[gi])
 	}
@@ -118,9 +129,9 @@ func (p *Predictor) Predict(pc uint64) bool {
 // resolution, many cycles after the lookup.
 func (p *Predictor) Update(pc uint64, outcome bool) bool {
 	idx := pc >> 2
-	li := idx % uint64(p.cfg.LocalEntries)
-	gi := (idx ^ uint64(p.history)) % uint64(p.cfg.GlobalEntries)
-	ci := idx % uint64(p.cfg.ChooserEntries)
+	li := idx & p.localMask
+	gi := (idx ^ uint64(p.history)) & p.globalMask
+	ci := idx & p.chooserMask
 
 	lPred := taken(p.local[li])
 	gPred := taken(p.global[gi])
@@ -138,7 +149,7 @@ func (p *Predictor) Update(pc uint64, outcome bool) bool {
 	}
 	p.local[li] = bump(p.local[li], outcome)
 	p.global[gi] = bump(p.global[gi], outcome)
-	p.history = (p.history<<1 | b2u(outcome)) & (1<<uint(p.cfg.HistoryBits) - 1)
+	p.history = (p.history<<1 | b2u(outcome)) & p.historyMask
 
 	p.branches++
 	if used != outcome {

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hybriddtm/internal/dtm"
+	"hybriddtm/internal/dvfs"
+	"hybriddtm/internal/obs"
+	"hybriddtm/internal/trace"
+)
+
+// TestScalarBatchedEquivalence is the coupled-loop half of the golden
+// equivalence harness: a bzip2 run at 1M instructions under each DTM
+// policy family (fetch gating, DVS, hybrid) must produce a byte-identical
+// JSONL event stream and an identical Result whether the CPU runs the
+// batched kernels or the cycle-at-a-time reference loop. This covers the
+// whole closed loop — every temperature, sensor reading, policy decision,
+// and actuation — so any behavioral drift in the kernels that slipped
+// past the cpu-level harness would surface here.
+func TestScalarBatchedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six 1M-instruction coupled runs")
+	}
+	cfg := traceConfig()
+	// Thresholds below bzip2's idle temperature so every policy actually
+	// actuates inside the horizon (same trick as the golden trace
+	// fixture): the comparison then exercises gated kernels, DVS stalls,
+	// and trigger crossings, not just the idle path.
+	cfg.Trigger = 70
+	cfg.EmergencyThreshold = 76
+	prof, ok := trace.ByName("bzip2")
+	if !ok {
+		t.Fatal("bzip2 profile missing")
+	}
+	ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	policies := []struct {
+		name string
+		mk   func() dtm.Policy
+	}{
+		{"fg", func() dtm.Policy {
+			p, err := dtm.FetchGating(cfg.Trigger, dtm.DefaultFGGain, 2.0/3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"dvs", func() dtm.Policy {
+			p, err := dtm.DVSBinary(cfg.Trigger, ladder)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"hyb", func() dtm.Policy { return hybPolicy(t, cfg) }},
+	}
+
+	run := func(pol dtm.Policy, reference bool) ([]byte, Result) {
+		var buf bytes.Buffer
+		jsonl := obs.NewJSONL(&buf)
+		c := cfg
+		c.Tracer = jsonl
+		sim, err := New(c, prof, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Core().UseReferencePipeline(reference)
+		res, err := sim.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := jsonl.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+
+	for _, pc := range policies {
+		t.Run(pc.name, func(t *testing.T) {
+			refTrace, refRes := run(pc.mk(), true)
+			batTrace, batRes := run(pc.mk(), false)
+			if refRes != batRes {
+				t.Errorf("Result diverged:\nref: %+v\nbat: %+v", refRes, batRes)
+			}
+			if !bytes.Equal(refTrace, batTrace) {
+				line := 1
+				for i := 0; i < len(refTrace) && i < len(batTrace); i++ {
+					if refTrace[i] != batTrace[i] {
+						break
+					}
+					if refTrace[i] == '\n' {
+						line++
+					}
+				}
+				t.Errorf("event stream diverged at line %d (%d vs %d bytes)",
+					line, len(refTrace), len(batTrace))
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hybriddtm/internal/dtm"
+	"hybriddtm/internal/dvfs"
+	"hybriddtm/internal/obs"
+)
+
+// stepCounter is a minimal tracer that counts thermal-step events and
+// records the widest integration interval, so tests can prove multi-rate
+// fusion actually engaged rather than passing vacuously.
+type stepCounter struct {
+	steps int
+	maxDt float64
+}
+
+func (c *stepCounter) Begin(obs.Meta) {}
+func (c *stepCounter) End()           {}
+func (c *stepCounter) Emit(ev *obs.Event) {
+	if ev.Kind == obs.KindStep {
+		c.steps++
+		if ev.Dt > c.maxDt {
+			c.maxDt = ev.Dt
+		}
+	}
+}
+
+func TestMultiRateValidation(t *testing.T) {
+	bad := quickConfig()
+	bad.MultiRateMax = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted negative MultiRateMax")
+	}
+	bad = quickConfig()
+	bad.MultiRateMax = 8
+	bad.MultiRateMargin = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted enabled multi-rate with zero margin")
+	}
+}
+
+// TestMultiRateAccuracy runs the same workload on the fine (1:1) and fused
+// (up to 8 steps) grids with ample thermal headroom, where fusion engages
+// on nearly every step, and bounds the trajectory deviation: the paper's
+// DTM conclusions hinge on peak temperature, so the fused integrator must
+// reproduce it to well under the sensor error floor (0.05 K here vs a
+// 2.5 K worst-case sensor envelope).
+func TestMultiRateAccuracy(t *testing.T) {
+	base := quickConfig()
+	// Lift the thresholds out of gzip's range so the chip always has
+	// MultiRateMargin of headroom and fusion stays engaged.
+	base.Trigger = 95
+	base.EmergencyThreshold = 98
+
+	run := func(mrMax int) (Result, *stepCounter) {
+		cfg := base
+		cfg.MultiRateMax = mrMax
+		sc := &stepCounter{}
+		cfg.Tracer = sc
+		return runQuick(t, cfg, gzipProfile(t), nil, 2_000_000), sc
+	}
+	ref, refSC := run(1)
+	fused, fusedSC := run(8)
+
+	if fusedSC.steps >= refSC.steps {
+		t.Fatalf("fusion never engaged: %d fused steps vs %d reference", fusedSC.steps, refSC.steps)
+	}
+	if fusedSC.maxDt <= refSC.maxDt*1.5 {
+		t.Errorf("widest fused interval %v barely above reference %v", fusedSC.maxDt, refSC.maxDt)
+	}
+	if dev := math.Abs(fused.MaxTemp - ref.MaxTemp); dev >= 0.05 {
+		t.Errorf("max-temp deviation %v K ≥ 0.05 K (ref %v, fused %v)", dev, ref.MaxTemp, fused.MaxTemp)
+	}
+	if ref.AvgPower > 0 {
+		if rel := math.Abs(fused.AvgPower-ref.AvgPower) / ref.AvgPower; rel > 0.01 {
+			t.Errorf("average power deviates %.2f%% (ref %v W, fused %v W)", rel*100, ref.AvgPower, fused.AvgPower)
+		}
+	}
+	if fused.Instructions < 2_000_000 {
+		t.Errorf("fused run committed %d, want ≥ target", fused.Instructions)
+	}
+}
+
+// TestMultiRateCollapsesNearTrigger runs a hot workload under the Hyb
+// policy with multi-rate enabled: near the trigger the loop must fall back
+// to the fine grid, so the control outcome — no emergencies, bounded peak —
+// matches the 1:1 run to the same deviation bound even though the policy is
+// actively actuating.
+func TestMultiRateCollapsesNearTrigger(t *testing.T) {
+	run := func(mrMax int) Result {
+		cfg := quickConfig()
+		cfg.MultiRateMax = mrMax
+		ladder, err := dvfs.Binary(cfg.Tech, cfg.VMinFrac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := dtm.Hyb(cfg.Trigger, 0.4, 1.0/3, ladder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runQuick(t, cfg, gzipProfile(t), pol, 2_000_000)
+	}
+	ref := run(1)
+	fused := run(8)
+
+	if fused.EmergencyTime > 0 {
+		t.Errorf("fused run spent %v s above emergency", fused.EmergencyTime)
+	}
+	if dev := math.Abs(fused.MaxTemp - ref.MaxTemp); dev >= 0.05 {
+		t.Errorf("max-temp deviation %v K ≥ 0.05 K near trigger (ref %v, fused %v)", dev, ref.MaxTemp, fused.MaxTemp)
+	}
+}

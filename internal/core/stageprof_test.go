@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"hybriddtm/internal/obs"
 	"hybriddtm/internal/trace"
@@ -125,6 +126,44 @@ func TestGoldenStageProfile(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Errorf("stageprofile drifted from golden fixture (%d vs %d bytes); if the change is intentional rerun with -update and bump obs.StageProfileSchemaVersion for breaking changes",
 			len(got), len(want))
+	}
+}
+
+// TestStageProfilerOverhead asserts the strided-lap contract behind
+// profileStride: attaching the profiler at its default sampling rate must
+// cost less than 10% wall time over a profiler-free run. Laps sit at
+// mini-batch boundaries, not per cycle, so the envelope holds with a wide
+// margin; best-of-three timings damp scheduler noise.
+func TestStageProfilerOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock timing")
+	}
+	run := func(withProf bool) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for i := 0; i < 3; i++ {
+			cfg := stageProfConfig()
+			if withProf {
+				cfg.Profiler = obs.NewStageProfiler(0)
+			}
+			sim, err := New(cfg, gzipProfile(t), hybPolicy(t, cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			begin := time.Now()
+			if _, err := sim.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(begin); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	off := run(false)
+	on := run(true)
+	if ratio := float64(on) / float64(off); ratio > 1.10 {
+		t.Errorf("profiler-on overhead %.1f%% (off %v, on %v), want < 10%%",
+			(ratio-1)*100, off, on)
 	}
 }
 

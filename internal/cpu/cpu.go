@@ -15,6 +15,14 @@
 // while the fetch queue and window keep the issue stages fed, gated fetch
 // cycles are hidden by ILP, which is the architectural phenomenon the
 // hybrid DTM policy exploits (§4.2).
+//
+// Pipeline state is laid out structure-of-arrays (see DESIGN.md "Pipeline
+// kernels"): the ROB and fetch queue are parallel flat slices indexed by
+// ring position with power-of-two masks, preallocated at New, and the
+// batched kernels in kernel.go advance the pipeline over runs of cycles
+// between DTM-visible boundaries. The cycle-at-a-time loop in this file is
+// retained as the reference semantics; the kernels are proven equivalent
+// against it by the equivalence and fuzz tests.
 package cpu
 
 import (
@@ -110,28 +118,6 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// robEntry is one in-flight instruction.
-type robEntry struct {
-	class      trace.Class
-	dst        uint8
-	dep1, dep2 uint64 // writer seq+1; 0 = no dependence
-	addr       uint64
-	issued     bool
-	doneAt     uint64
-	mispredict bool
-	// readyAt memoizes the cycle at which both sources are available (0 =
-	// not yet computable because a producer has not issued). The issue
-	// stages re-check waiting instructions every cycle, so avoiding the
-	// producer-chasing on the hot path matters.
-	readyAt uint64
-}
-
-// ifqEntry is a fetched, not-yet-dispatched instruction.
-type ifqEntry struct {
-	inst       trace.Inst
-	mispredict bool
-}
-
 // fetch-block states.
 const (
 	blockNone         = iota
@@ -139,8 +125,82 @@ const (
 	blockWaitResolve  // waiting for the branch at blockSeq to execute
 )
 
+// unknownReady is the issueQueue.minReady sentinel: no queued entry has a
+// computable ready-at cycle (every stalled entry waits on an un-issued
+// producer).
+const unknownReady = ^uint64(0)
+
+// issueQueue is one issue domain's scheduler, event-driven: only entries
+// whose ready-at cycle is already known live in the ready list (sorted by
+// sequence number, so a walk is an oldest-first scan of genuinely
+// schedulable work); entries still waiting on an un-issued producer are
+// represented only by the unknown counter and the producer wakeup lists,
+// and enter the ready list when their last producer issues. minReady is a
+// lower bound on the earliest cycle at which any queued entry can issue:
+// walks recompute it exactly, dispatch and wakeups only ever lower it, so
+// while cycle < minReady a walk provably selects nothing and the batched
+// kernels skip it. A walk that leaves ready-but-unissued entries behind
+// (width or MSHR limits) pins it at or below the current cycle, forcing a
+// walk every cycle until the backlog drains.
+//
+// A wakeup that lands while the queue's own walk is in progress (an
+// instruction issued this walk waking a same-domain consumer) is parked in
+// pending and folded in at the end of the walk: the consumer's ready-at is
+// at least cycle+1, so deferring its insertion past the in-progress scan
+// cannot change what issues this cycle.
+type issueQueue struct {
+	ready    []uint64 // un-issued, ready-at known, sorted by seq
+	pending  []uint64 // wakeups deferred while walking
+	unknown  int      // un-issued entries waiting on a producer
+	walking  bool
+	minReady uint64
+}
+
+// size returns the number of queued (un-issued) instructions, the quantity
+// dispatch checks against the queue's capacity.
+func (q *issueQueue) size() int { return len(q.ready) + q.unknown }
+
+// noteReady lowers the queue's ready watermark for a newly computed
+// ready-at cycle.
+func (q *issueQueue) noteReady(ra uint64) {
+	if ra < q.minReady {
+		q.minReady = ra
+	}
+}
+
+// insertReady places seq into the ready list keeping sequence order.
+// Wakeups arrive mostly in age order, so the insertion scan from the tail
+// is short in practice.
+func (q *issueQueue) insertReady(seq uint64) {
+	r := append(q.ready, seq) //dtmlint:allow allocguard bounded by the queue capacity; cap settles during warm-up
+	i := len(r) - 1
+	for i > 0 && r[i-1] > seq {
+		r[i] = r[i-1]
+		i--
+	}
+	r[i] = seq
+	q.ready = r
+}
+
+// enqueueReady routes a newly known-ready entry: parked while the queue's
+// own walk is scanning, inserted directly otherwise.
+func (q *issueQueue) enqueueReady(seq uint64, ra uint64) {
+	if q.walking {
+		q.pending = append(q.pending, seq) //dtmlint:allow allocguard bounded by the queue capacity; cap settles during warm-up
+		return
+	}
+	q.insertReady(seq)
+	q.noteReady(ra)
+}
+
 // Core is the simulated processor. Not safe for concurrent use; run one
 // Core per goroutine.
+//
+// All ring state is structure-of-arrays: the ROB fields live in parallel
+// slices indexed by seq&robMask, the fetch queue in parallel slices indexed
+// by position&ifqMask. Both are padded to powers of two at New so the hot
+// loops index with a mask instead of a division; masking stays injective
+// because at most ROBSize (resp. IFQSize) entries are ever in flight.
 type Core struct {
 	cfg Config
 	gen trace.Source
@@ -149,15 +209,58 @@ type Core struct {
 
 	cycle      uint64
 	head, tail uint64 // ROB sequence numbers: [head, tail) in flight
-	rob        []robEntry
+
+	// ROB, structure-of-arrays. A slot is fully overwritten at dispatch,
+	// so stale fields from retired instructions are never observable.
+	robMask    uint64
+	robClass   []trace.Class
+	robDst     []uint8
+	robDep1    []uint64 // writer seq+1; 0 = no dependence
+	robDep2    []uint64
+	robAddr    []uint64
+	robIssued  []bool
+	robDoneAt  []uint64
+	robMispred []bool
+	robSeq     []uint64 // full sequence number of the slot's occupant
+	// robReadyAt holds the cycle at which both sources are available (0 =
+	// not yet known because a producer has not issued). It is computed
+	// eagerly — at dispatch when every producer has already issued,
+	// otherwise by the wakeup walk when the last outstanding producer
+	// issues — so the issue walks are pure compare loops with no
+	// producer-chasing on the hot path.
+	robReadyAt []uint64
+	// robMissing counts un-issued producers at dispatch; the entry's
+	// ready-at is computed when it reaches zero.
+	robMissing []uint8
+	// Producer→consumer wakeup lists, allocation-free linked lists over
+	// fixed arrays: wakeHead[p] is the first wake node of the instructions
+	// waiting on producer slot p; node id n = consumerSlot*2+depIndex
+	// (each consumer has at most two producers, so two node slots per ROB
+	// slot suffice); wakeNext[n] chains them. Stored values are node id+1,
+	// 0 = end of list. A producer's list is consumed exactly once, at its
+	// issue, which happens before any waiter can issue and therefore
+	// before either slot is reused — so no stale links survive.
+	wakeHead []int32
+	wakeNext []int32
 
 	regWriter [64]uint64 // seq+1 of last writer per architectural register
 
-	ifq      []ifqEntry
-	ifqHead  int
-	ifqCount int
+	// Fetch queue, structure-of-arrays.
+	ifqMask    int
+	ifqHead    int
+	ifqCount   int
+	ifqClass   []trace.Class
+	ifqDst     []uint8
+	ifqSrc1    []uint8
+	ifqSrc2    []uint8
+	ifqAddr    []uint64
+	ifqMispred []bool
 
-	intWait, fpWait, memWait []uint64 // un-issued seqs per queue, oldest first
+	intQ, fpQ, memQ issueQueue
+
+	// issues counts every instruction issued, across all domains; the
+	// batched kernels use it to detect dead cycles (no issue anywhere).
+	issues uint64
 
 	gateAcc float64 // fetch-gating duty accumulator
 	// Per-domain issue gating accumulators (local toggling, §2): a gated
@@ -176,10 +279,26 @@ type Core struct {
 	memLatency int // off-chip latency in cycles at the current frequency
 
 	committed uint64
+
+	// referencePath forces the cycle-at-a-time loop (see
+	// UseReferencePipeline); the equivalence and fuzz tests diff it
+	// against the batched kernels.
+	referencePath bool
+}
+
+// nextPow2 returns the smallest power of two ≥ n (n ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // New builds a core running the given trace source (a synthetic generator
-// or a recorded-trace reader).
+// or a recorded-trace reader). All pipeline storage — ROB and fetch-queue
+// arrays, issue queues, MSHR list — is preallocated here; the simulation
+// paths never touch the heap (enforced by the AllocsPerRun==0 contracts).
 func New(cfg Config, gen trace.Source) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -195,19 +314,49 @@ func New(cfg Config, gen trace.Source) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Core{
-		cfg:        cfg,
-		gen:        gen,
-		bp:         bp,
-		mem:        mem,
-		rob:        make([]robEntry, cfg.ROBSize),
-		ifq:        make([]ifqEntry, cfg.IFQSize),
-		intWait:    make([]uint64, 0, cfg.IntQSize),
-		fpWait:     make([]uint64, 0, cfg.FPQSize),
-		memWait:    make([]uint64, 0, cfg.LSQSize),
+	robCap := nextPow2(cfg.ROBSize)
+	ifqCap := nextPow2(cfg.IFQSize)
+	c := &Core{
+		cfg: cfg,
+		gen: gen,
+		bp:  bp,
+		mem: mem,
+
+		robMask:    uint64(robCap - 1),
+		robClass:   make([]trace.Class, robCap),
+		robDst:     make([]uint8, robCap),
+		robDep1:    make([]uint64, robCap),
+		robDep2:    make([]uint64, robCap),
+		robAddr:    make([]uint64, robCap),
+		robIssued:  make([]bool, robCap),
+		robDoneAt:  make([]uint64, robCap),
+		robMispred: make([]bool, robCap),
+		robSeq:     make([]uint64, robCap),
+		robReadyAt: make([]uint64, robCap),
+		robMissing: make([]uint8, robCap),
+		wakeHead:   make([]int32, robCap),
+		wakeNext:   make([]int32, 2*robCap),
+
+		ifqMask:    ifqCap - 1,
+		ifqClass:   make([]trace.Class, ifqCap),
+		ifqDst:     make([]uint8, ifqCap),
+		ifqSrc1:    make([]uint8, ifqCap),
+		ifqSrc2:    make([]uint8, ifqCap),
+		ifqAddr:    make([]uint64, ifqCap),
+		ifqMispred: make([]bool, ifqCap),
+
 		mshr:       make([]uint64, 0, cfg.MSHRs),
 		memLatency: cfg.Caches.MemLatency,
-	}, nil
+	}
+	for _, qc := range [...]struct {
+		q   *issueQueue
+		cap int
+	}{{&c.intQ, cfg.IntQSize}, {&c.fpQ, cfg.FPQSize}, {&c.memQ, cfg.LSQSize}} {
+		qc.q.ready = make([]uint64, 0, qc.cap)
+		qc.q.pending = make([]uint64, 0, qc.cap)
+		qc.q.minReady = unknownReady
+	}
+	return c, nil
 }
 
 // Config returns the core's configuration.
@@ -225,6 +374,10 @@ func (c *Core) Cycle() uint64 { return c.cycle }
 // Committed returns the total instructions committed.
 func (c *Core) Committed() uint64 { return c.committed }
 
+// InFlight returns the number of instructions currently in the window
+// (dispatched, not yet committed).
+func (c *Core) InFlight() uint64 { return c.tail - c.head }
+
 // IPC returns lifetime committed instructions per cycle.
 func (c *Core) IPC() float64 {
 	if c.cycle == 0 {
@@ -232,6 +385,12 @@ func (c *Core) IPC() float64 {
 	}
 	return float64(c.committed) / float64(c.cycle)
 }
+
+// UseReferencePipeline toggles the cycle-at-a-time reference loop in place
+// of the batched kernels. Both paths simulate the identical machine — the
+// equivalence harness and FuzzCoreRun diff them instruction-for-instruction
+// — so this is a validation hook, not a behavioral knob.
+func (c *Core) UseReferencePipeline(on bool) { c.referencePath = on }
 
 // SetFrequencyRatio adjusts the off-chip memory latency for the current
 // clock, f/fNominal. On-chip latencies are expressed in cycles and scale
@@ -268,6 +427,13 @@ func (g Gates) validate() error {
 	return nil
 }
 
+// issueGatesZero reports whether no issue-domain gate is active; the fast
+// kernels specialize on this (a gateTick with fraction 0 adds 0.0 to the
+// accumulator and never gates, so eliding it is bit-exact).
+func issueGatesZero(g Gates) bool {
+	return stats.SameFloat(g.Int, 0) && stats.SameFloat(g.FP, 0) && stats.SameFloat(g.Mem, 0)
+}
+
 // Run simulates n cycles with the given fetch-gating fraction (0 = no
 // gating, 0.5 = fetch gated every other cycle…), accumulating activity
 // counts into act (which may be nil) and returning instructions committed
@@ -295,13 +461,19 @@ func (c *Core) RunGated(n uint64, gates Gates, act *Activity) (uint64, error) {
 // idiom and what keeps the profiler-off path (sp == nil) at one
 // predicted branch per site.
 //
+// Laps are placed at batch boundaries, not per cycle: one fully-staged
+// cycle opens each profileStride-cycle mini-batch and its per-stage times
+// are extrapolated over the batch (obs.StageProfiler.LapN); the remaining
+// cycles run through the batched kernels. See kernel.go.
+//
 //dtmlint:allocfree
 func (c *Core) RunGatedProfiled(n uint64, gates Gates, act *Activity, sp *obs.StageProfiler) (uint64, error) {
 	return c.run(n, gates, act, sp)
 }
 
-// run is the pipeline loop shared by RunGated (sp == nil: the hot path,
-// branches only) and RunGatedProfiled.
+// run validates and dispatches to the pipeline loops: the batched kernels
+// in kernel.go on the hot path, the cycle-at-a-time reference loop when
+// requested, with profiler variants of each.
 func (c *Core) run(n uint64, gates Gates, act *Activity, sp *obs.StageProfiler) (uint64, error) {
 	if err := gates.validate(); err != nil {
 		return 0, err
@@ -311,6 +483,22 @@ func (c *Core) run(n uint64, gates Gates, act *Activity, sp *obs.StageProfiler) 
 		act = &sink
 	}
 	start := c.committed
+	switch {
+	case c.referencePath:
+		c.runScalar(n, gates, act, sp)
+	case sp != nil:
+		c.runProfiled(n, gates, act, sp)
+	default:
+		c.runBatched(n, gates, act)
+	}
+	act.Cycles += n
+	return c.committed - start, nil
+}
+
+// runScalar is the cycle-at-a-time reference loop: five stage calls per
+// cycle, gate accumulators ticked every cycle, laps per cycle when sp is
+// non-nil. The batched kernels must match it bit for bit.
+func (c *Core) runScalar(n uint64, gates Gates, act *Activity, sp *obs.StageProfiler) {
 	for i := uint64(0); i < n; i++ {
 		c.cycle++
 		if sp != nil {
@@ -320,18 +508,16 @@ func (c *Core) run(n uint64, gates Gates, act *Activity, sp *obs.StageProfiler) 
 		if sp != nil {
 			sp.Lap(obs.StageCPUCommit)
 		}
-		c.issue(gates, act, sp)
+		c.issue(gates, act, sp, 1)
 		c.dispatch(act)
 		if sp != nil {
 			sp.Lap(obs.StageCPUDispatch)
 		}
-		c.fetch(gates.Fetch, act, sp)
+		c.fetch(gates.Fetch, act, sp, 1)
 		if sp != nil {
 			sp.Lap(obs.StageCPUFetch)
 		}
 	}
-	act.Cycles += n
-	return c.committed - start, nil
 }
 
 // gateTick advances a duty accumulator and reports whether this cycle is
@@ -348,8 +534,8 @@ func gateTick(acc *float64, frac float64) bool {
 // commit retires completed instructions in order.
 func (c *Core) commit(act *Activity) {
 	for n := 0; n < c.cfg.CommitWidth && c.head < c.tail; n++ {
-		e := &c.rob[c.head%uint64(c.cfg.ROBSize)]
-		if !e.issued || e.doneAt > c.cycle {
+		i := c.head & c.robMask
+		if !c.robIssued[i] || c.robDoneAt[i] > c.cycle {
 			return
 		}
 		c.head++
@@ -358,123 +544,198 @@ func (c *Core) commit(act *Activity) {
 	}
 }
 
-// ready reports whether the entry's source operands are available. The
-// answer is memoized as a ready-at cycle once every producer has issued.
-func (c *Core) ready(e *robEntry) bool {
-	if e.readyAt != 0 {
-		return e.readyAt <= c.cycle
+// readyAtResolved computes the ready-at cycle of the ROB entry at slot i
+// once every producer has issued (or committed): the max of the in-window
+// producers' completion times, clamped to 1 because cycle counting starts
+// at 1 and 0 is the "unknown" sentinel. A producer that commits before
+// this runs contributes its doneAt instead of 0, which is equivalent: a
+// committed producer's doneAt is already in the past at every cycle where
+// the difference could be observed.
+func (c *Core) readyAtResolved(i uint64) uint64 {
+	ra := uint64(0)
+	if dep := c.robDep1[i]; dep != 0 {
+		if seq := dep - 1; seq >= c.head {
+			ra = c.robDoneAt[seq&c.robMask]
+		}
 	}
-	r1, ok := c.depReadyAt(e.dep1)
-	if !ok {
-		return false
-	}
-	r2, ok := c.depReadyAt(e.dep2)
-	if !ok {
-		return false
-	}
-	ra := r1
-	if r2 > ra {
-		ra = r2
+	if dep := c.robDep2[i]; dep != 0 {
+		if seq := dep - 1; seq >= c.head {
+			if d := c.robDoneAt[seq&c.robMask]; d > ra {
+				ra = d
+			}
+		}
 	}
 	if ra == 0 {
-		ra = 1 // cycle counting starts at 1; 0 is the "unknown" sentinel
+		ra = 1
 	}
-	e.readyAt = ra
-	return ra <= c.cycle
+	return ra
 }
 
-// depReadyAt returns the cycle the dependence is satisfied and whether that
-// cycle is known yet (producers that have not issued have no completion
-// time).
-func (c *Core) depReadyAt(dep uint64) (uint64, bool) {
-	if dep == 0 {
-		return 0, true
+// queueFor maps an instruction class to its issue queue.
+func (c *Core) queueFor(cls trace.Class) *issueQueue {
+	switch cls {
+	case trace.Load, trace.Store:
+		return &c.memQ
+	case trace.FPAdd, trace.FPMul:
+		return &c.fpQ
+	default:
+		return &c.intQ
 	}
-	seq := dep - 1
-	if seq < c.head {
-		return 0, true // writer already committed
+}
+
+// wake walks the wakeup list of the producer at slot pi (which has just
+// issued, so its doneAt is known): each waiter loses one outstanding
+// producer, and a waiter whose count reaches zero gets its ready-at
+// computed and its queue's watermark lowered. Waiters are always younger
+// than the producer, so a wakeup never touches an entry an in-progress
+// walk has already passed.
+func (c *Core) wake(pi uint64) {
+	n := c.wakeHead[pi]
+	if n == 0 {
+		return
 	}
-	w := &c.rob[seq%uint64(c.cfg.ROBSize)]
-	if !w.issued {
-		return 0, false
+	c.wakeHead[pi] = 0
+	for n != 0 {
+		node := n - 1
+		n = c.wakeNext[node]
+		ci := uint64(node) >> 1
+		if m := c.robMissing[ci] - 1; m != 0 {
+			c.robMissing[ci] = m
+			continue
+		}
+		c.robMissing[ci] = 0
+		ra := c.readyAtResolved(ci)
+		c.robReadyAt[ci] = ra
+		q := c.queueFor(c.robClass[ci])
+		q.unknown--
+		q.enqueueReady(c.robSeq[ci], ra)
 	}
-	return w.doneAt, true
 }
 
 // issue selects ready instructions oldest-first per queue, skipping
-// domains whose issue stage is gated this cycle.
-func (c *Core) issue(gates Gates, act *Activity, sp *obs.StageProfiler) {
+// domains whose issue stage is gated this cycle. scale is the profiler
+// extrapolation factor (cycles represented by this lapped cycle; 1 on the
+// reference path).
+func (c *Core) issue(gates Gates, act *Activity, sp *obs.StageProfiler, scale uint64) {
 	if !gateTick(&c.intGateAcc, gates.Int) {
 		c.issueInt(act)
 	}
 	if sp != nil {
-		sp.Lap(obs.StageCPUIssueInt)
+		sp.LapN(obs.StageCPUIssueInt, scale)
 	}
 	if !gateTick(&c.fpGateAcc, gates.FP) {
 		c.issueFP(act)
 	}
 	if sp != nil {
-		sp.Lap(obs.StageCPUIssueFP)
+		sp.LapN(obs.StageCPUIssueFP, scale)
 	}
 	if !gateTick(&c.memGateAcc, gates.Mem) {
-		c.issueMem(act, sp)
+		c.issueMem(act, sp, scale)
 	}
 	if sp != nil {
-		sp.Lap(obs.StageCPUIssueMem)
+		sp.LapN(obs.StageCPUIssueMem, scale)
+	}
+}
+
+// drainWalk finishes a walk: publishes the compacted ready list and exact
+// watermark, then folds in wakeups parked during the scan.
+func (q *issueQueue) drainWalk(out []uint64, minReady uint64, robReadyAt []uint64, robMask uint64) {
+	q.ready = out
+	q.minReady = minReady
+	q.walking = false
+	if len(q.pending) > 0 {
+		for _, seq := range q.pending {
+			q.insertReady(seq)
+			q.noteReady(robReadyAt[seq&robMask])
+		}
+		q.pending = q.pending[:0]
 	}
 }
 
 func (c *Core) issueInt(act *Activity) {
-	issued := 0
-	w := c.intWait
+	q := &c.intQ
+	q.walking = true
+	w := q.ready
 	out := w[:0]
-	for _, seq := range w {
-		e := &c.rob[seq%uint64(c.cfg.ROBSize)]
-		if issued >= c.cfg.IntIssueWidth || !c.ready(e) {
-			out = append(out, seq) //dtmlint:allow allocguard in-place filter reuses the wait queue backing array
+	issued := 0
+	minReady := uint64(unknownReady)
+	width := c.cfg.IntIssueWidth
+	for k, seq := range w {
+		if issued >= width {
+			// Width exhausted with backlog: bulk-keep the tail and force a
+			// walk next cycle.
+			out = append(out, w[k:]...) //dtmlint:allow allocguard in-place filter reuses the ready list backing array
+			minReady = c.cycle
+			break
+		}
+		i := seq & c.robMask
+		ra := c.robReadyAt[i]
+		if ra > c.cycle {
+			out = append(out, seq) //dtmlint:allow allocguard in-place filter reuses the ready list backing array
+			if ra < minReady {
+				minReady = ra
+			}
 			continue
 		}
 		issued++
-		e.issued = true
-		switch e.class {
-		case trace.IntMul:
-			e.doneAt = c.cycle + uint64(c.cfg.IntMulLatency)
+		c.robIssued[i] = true
+		if c.robClass[i] == trace.IntMul {
+			c.robDoneAt[i] = c.cycle + uint64(c.cfg.IntMulLatency)
 			act.IntMulIssued++
-		default: // IntALU, Branch
-			e.doneAt = c.cycle + 1
+		} else { // IntALU, Branch
+			c.robDoneAt[i] = c.cycle + 1
 		}
 		act.IntIssued++
-		c.countRegs(e, act)
+		c.countRegs(i, act)
+		c.wake(i)
 	}
-	c.intWait = out
+	q.drainWalk(out, minReady, c.robReadyAt, c.robMask)
+	c.issues += uint64(issued)
 }
 
 func (c *Core) issueFP(act *Activity) {
-	issued := 0
-	w := c.fpWait
+	q := &c.fpQ
+	q.walking = true
+	w := q.ready
 	out := w[:0]
-	for _, seq := range w {
-		e := &c.rob[seq%uint64(c.cfg.ROBSize)]
-		if issued >= c.cfg.FPIssueWidth || !c.ready(e) {
-			out = append(out, seq) //dtmlint:allow allocguard in-place filter reuses the wait queue backing array
+	issued := 0
+	minReady := uint64(unknownReady)
+	width := c.cfg.FPIssueWidth
+	for k, seq := range w {
+		if issued >= width {
+			out = append(out, w[k:]...) //dtmlint:allow allocguard in-place filter reuses the ready list backing array
+			minReady = c.cycle
+			break
+		}
+		i := seq & c.robMask
+		ra := c.robReadyAt[i]
+		if ra > c.cycle {
+			out = append(out, seq) //dtmlint:allow allocguard in-place filter reuses the ready list backing array
+			if ra < minReady {
+				minReady = ra
+			}
 			continue
 		}
 		issued++
-		e.issued = true
-		if e.class == trace.FPMul {
-			e.doneAt = c.cycle + uint64(c.cfg.FPMulLatency)
+		c.robIssued[i] = true
+		if c.robClass[i] == trace.FPMul {
+			c.robDoneAt[i] = c.cycle + uint64(c.cfg.FPMulLatency)
 			act.FPMulIssued++
 		} else {
-			e.doneAt = c.cycle + uint64(c.cfg.FPAddLatency)
+			c.robDoneAt[i] = c.cycle + uint64(c.cfg.FPAddLatency)
 			act.FPAddIssued++
 		}
-		c.countRegs(e, act)
+		c.countRegs(i, act)
+		c.wake(i)
 	}
-	c.fpWait = out
+	q.drainWalk(out, minReady, c.robReadyAt, c.robMask)
+	c.issues += uint64(issued)
 }
 
-func (c *Core) issueMem(act *Activity, sp *obs.StageProfiler) {
-	// Retire completed MSHRs first.
+func (c *Core) issueMem(act *Activity, sp *obs.StageProfiler, scale uint64) {
+	// Retire completed MSHRs first. When the minReady watermark skips this
+	// walk the filter is deferred; the live set (t > cycle) is monotonic
+	// in cycle, so filtering late yields the identical list.
 	live := c.mshr[:0]
 	for _, t := range c.mshr {
 		if t > c.cycle {
@@ -483,31 +744,51 @@ func (c *Core) issueMem(act *Activity, sp *obs.StageProfiler) {
 	}
 	c.mshr = live
 
-	issued := 0
-	w := c.memWait
+	q := &c.memQ
+	q.walking = true
+	w := q.ready
 	out := w[:0]
-	for _, seq := range w {
-		e := &c.rob[seq%uint64(c.cfg.ROBSize)]
-		if issued >= c.cfg.MemIssueWidth || !c.ready(e) {
-			out = append(out, seq) //dtmlint:allow allocguard in-place filter reuses the wait queue backing array
+	issued := 0
+	minReady := uint64(unknownReady)
+	width := c.cfg.MemIssueWidth
+	for k, seq := range w {
+		if issued >= width {
+			out = append(out, w[k:]...) //dtmlint:allow allocguard in-place filter reuses the ready list backing array
+			minReady = c.cycle
+			break
+		}
+		i := seq & c.robMask
+		ra := c.robReadyAt[i]
+		if ra > c.cycle {
+			out = append(out, seq) //dtmlint:allow allocguard in-place filter reuses the ready list backing array
+			if ra < minReady {
+				minReady = ra
+			}
 			continue
 		}
 		if len(c.mshr) >= c.cfg.MSHRs {
 			// No miss capacity left: structural stall for the memory
-			// pipeline this cycle.
+			// pipeline this cycle. The kept entry is ready now, so its
+			// ready-at (≤ cycle) holds the watermark down and forces a walk
+			// every cycle until an MSHR retires — an MSHR can retire
+			// without an issue event, so the block must not be skipped
+			// over.
 			out = append(out, seq)
+			if ra < minReady {
+				minReady = ra
+			}
 			continue
 		}
 		issued++
-		e.issued = true
+		c.robIssued[i] = true
 		// Carve the cache access out of the issue_mem interval so the
 		// "cache" stage is a leaf and fractions stay disjoint.
 		if sp != nil {
-			sp.Lap(obs.StageCPUIssueMem)
+			sp.LapN(obs.StageCPUIssueMem, scale)
 		}
-		res := c.mem.Data(e.addr)
+		res := c.mem.Data(c.robAddr[i])
 		if sp != nil {
-			sp.Lap(obs.StageCache)
+			sp.LapN(obs.StageCache, scale)
 		}
 		act.DCacheAccesses++
 		act.DTBAccesses++
@@ -520,53 +801,58 @@ func (c *Core) issueMem(act *Activity, sp *obs.StageProfiler) {
 			}
 			c.mshr = append(c.mshr, c.cycle+uint64(lat)) //dtmlint:allow allocguard bounded by cfg.MSHRs; cap settles during warm-up
 		}
-		if e.class == trace.Store {
+		if c.robClass[i] == trace.Store {
 			// Stores complete into the store buffer immediately; the cache
 			// fill proceeds in the background (MSHR accounted above).
-			e.doneAt = c.cycle + 1
+			c.robDoneAt[i] = c.cycle + 1
 		} else {
-			e.doneAt = c.cycle + uint64(lat)
+			c.robDoneAt[i] = c.cycle + uint64(lat)
 		}
 		act.MemIssued++
-		c.countRegs(e, act)
+		c.countRegs(i, act)
+		c.wake(i)
 	}
-	c.memWait = out
+	q.drainWalk(out, minReady, c.robReadyAt, c.robMask)
+	c.issues += uint64(issued)
 }
 
-// countRegs charges register-file read/write energy for an issuing
-// instruction.
-func (c *Core) countRegs(e *robEntry, act *Activity) {
-	count := func(dep uint64) { //dtmlint:allow allocguard non-escaping closure, stack-allocated (AllocsPerRun==0 in core alloc_test)
-		if dep == 0 {
-			return
-		}
-		// Bank by the destination register of the producing instruction:
-		// integer registers are 0..31, FP 32..63.
-		seq := dep - 1
-		var reg uint8
-		if seq < c.head {
-			// Writer committed; its register bank is not recoverable from
-			// the ROB, so attribute by consumer class.
-			if e.class.IsFP() {
-				reg = 32
-			}
-		} else {
-			reg = c.rob[seq%uint64(c.cfg.ROBSize)].dst
-		}
-		if reg >= 32 {
-			act.FPRegReads++
-		} else {
-			act.IntRegReads++
-		}
-	}
-	count(e.dep1)
-	count(e.dep2)
-	if e.dst != trace.NoReg {
-		if e.dst >= 32 {
+// countRegs charges register-file read/write energy for the issuing
+// instruction in ROB slot i.
+func (c *Core) countRegs(i uint64, act *Activity) {
+	cls := c.robClass[i]
+	c.countRegRead(c.robDep1[i], cls, act)
+	c.countRegRead(c.robDep2[i], cls, act)
+	if dst := c.robDst[i]; dst != trace.NoReg {
+		if dst >= 32 {
 			act.FPRegWrites++
 		} else {
 			act.IntRegWrites++
 		}
+	}
+}
+
+// countRegRead charges one source-operand read, banked by the destination
+// register of the producing instruction (integer registers are 0..31, FP
+// 32..63).
+func (c *Core) countRegRead(dep uint64, cls trace.Class, act *Activity) {
+	if dep == 0 {
+		return
+	}
+	seq := dep - 1
+	var reg uint8
+	if seq < c.head {
+		// Writer committed; its register bank is not recoverable from
+		// the ROB, so attribute by consumer class.
+		if cls.IsFP() {
+			reg = 32
+		}
+	} else {
+		reg = c.robDst[seq&c.robMask]
+	}
+	if reg >= 32 {
+		act.FPRegReads++
+	} else {
+		act.IntRegReads++
 	}
 }
 
@@ -576,68 +862,99 @@ func (c *Core) dispatch(act *Activity) {
 		if c.tail-c.head >= uint64(c.cfg.ROBSize) {
 			return // window full
 		}
-		fe := &c.ifq[c.ifqHead]
+		fi := c.ifqHead & c.ifqMask
+		cls := c.ifqClass[fi]
 		// Issue-queue space.
-		switch fe.inst.Class {
+		q := c.queueFor(cls)
+		switch cls {
 		case trace.Load, trace.Store:
-			if len(c.memWait) >= c.cfg.LSQSize {
+			if q.size() >= c.cfg.LSQSize {
 				return
 			}
+			act.MemDispatched++
 		case trace.FPAdd, trace.FPMul:
-			if len(c.fpWait) >= c.cfg.FPQSize {
+			if q.size() >= c.cfg.FPQSize {
 				return
 			}
+			act.FPDispatched++
 		default:
-			if len(c.intWait) >= c.cfg.IntQSize {
+			if q.size() >= c.cfg.IntQSize {
 				return
 			}
+			act.IntDispatched++
 		}
 		seq := c.tail
 		c.tail++
-		e := &c.rob[seq%uint64(c.cfg.ROBSize)]
-		*e = robEntry{
-			class:      fe.inst.Class,
-			dst:        fe.inst.Dst,
-			addr:       fe.inst.Addr,
-			mispredict: fe.mispredict,
+		i := seq & c.robMask
+		dst := c.ifqDst[fi]
+		c.robClass[i] = cls
+		c.robDst[i] = dst
+		c.robAddr[i] = c.ifqAddr[fi]
+		c.robMispred[i] = c.ifqMispred[fi]
+		c.robIssued[i] = false
+		c.robDoneAt[i] = 0
+		c.robSeq[i] = seq
+		var d1, d2 uint64
+		if s := c.ifqSrc1[fi]; s != trace.NoReg {
+			d1 = c.regWriter[s]
 		}
-		if s := fe.inst.Src1; s != trace.NoReg {
-			e.dep1 = c.regWriter[s]
+		if s := c.ifqSrc2[fi]; s != trace.NoReg {
+			d2 = c.regWriter[s]
 		}
-		if s := fe.inst.Src2; s != trace.NoReg {
-			e.dep2 = c.regWriter[s]
+		c.robDep1[i] = d1
+		c.robDep2[i] = d2
+		if dst != trace.NoReg {
+			c.regWriter[dst] = seq + 1
 		}
-		if fe.inst.Dst != trace.NoReg {
-			c.regWriter[fe.inst.Dst] = seq + 1
+		// Register with un-issued producers' wakeup lists; if every
+		// producer has already issued (or committed), the ready-at is
+		// known right now and the entry goes straight to the ready list
+		// (it is the youngest, so insertion is an append).
+		missing := uint8(0)
+		if d1 != 0 {
+			if p := d1 - 1; p >= c.head {
+				if pi := p & c.robMask; !c.robIssued[pi] {
+					c.wakeNext[i<<1] = c.wakeHead[pi]
+					c.wakeHead[pi] = int32(i<<1) + 1
+					missing++
+				}
+			}
 		}
-		switch fe.inst.Class {
-		case trace.Load, trace.Store:
-			c.memWait = append(c.memWait, seq) //dtmlint:allow allocguard bounded by ROB size; cap settles during warm-up
-			act.MemDispatched++
-		case trace.FPAdd, trace.FPMul:
-			c.fpWait = append(c.fpWait, seq) //dtmlint:allow allocguard bounded by ROB size; cap settles during warm-up
-			act.FPDispatched++
-		default:
-			c.intWait = append(c.intWait, seq) //dtmlint:allow allocguard bounded by ROB size; cap settles during warm-up
-			act.IntDispatched++
+		if d2 != 0 {
+			if p := d2 - 1; p >= c.head {
+				if pi := p & c.robMask; !c.robIssued[pi] {
+					c.wakeNext[i<<1|1] = c.wakeHead[pi]
+					c.wakeHead[pi] = int32(i<<1|1) + 1
+					missing++
+				}
+			}
 		}
-		if fe.mispredict && c.blockState == blockWaitDispatch {
+		c.robMissing[i] = missing
+		if missing == 0 {
+			ra := c.readyAtResolved(i)
+			c.robReadyAt[i] = ra
+			q.enqueueReady(seq, ra)
+		} else {
+			c.robReadyAt[i] = 0
+			q.unknown++
+		}
+		if c.robMispred[i] && c.blockState == blockWaitDispatch {
 			c.blockState = blockWaitResolve
 			c.blockSeq = seq
 		}
-		c.ifqHead = (c.ifqHead + 1) % c.cfg.IFQSize
+		c.ifqHead = (c.ifqHead + 1) & c.ifqMask
 		c.ifqCount--
 	}
 }
 
 // fetch brings instructions into the fetch queue, subject to gating,
 // I-cache misses and branch redirects.
-func (c *Core) fetch(gateFrac float64, act *Activity, sp *obs.StageProfiler) {
+func (c *Core) fetch(gateFrac float64, act *Activity, sp *obs.StageProfiler, scale uint64) {
 	// Resolve a pending branch redirect.
 	if c.blockState == blockWaitResolve {
-		e := &c.rob[c.blockSeq%uint64(c.cfg.ROBSize)]
+		i := c.blockSeq & c.robMask
 		resolved := c.blockSeq < c.head ||
-			(e.issued && e.doneAt+uint64(c.cfg.MispredictPenalty) <= c.cycle)
+			(c.robIssued[i] && c.robDoneAt[i]+uint64(c.cfg.MispredictPenalty) <= c.cycle)
 		if resolved {
 			c.blockState = blockNone
 		}
@@ -676,11 +993,11 @@ func (c *Core) fetch(gateFrac float64, act *Activity, sp *obs.StageProfiler) {
 
 	// One I-cache (and I-TLB) access per fetch group.
 	if sp != nil {
-		sp.Lap(obs.StageCPUFetch)
+		sp.LapN(obs.StageCPUFetch, scale)
 	}
 	res := c.mem.Instruction(c.pending.PC)
 	if sp != nil {
-		sp.Lap(obs.StageCache)
+		sp.LapN(obs.StageCache, scale)
 	}
 	act.FetchGroups++
 	act.ITBAccesses++
@@ -703,20 +1020,20 @@ func (c *Core) fetch(gateFrac float64, act *Activity, sp *obs.StageProfiler) {
 		inst := c.pending
 		c.pendingValid = false
 
-		fe := ifqEntry{inst: inst}
+		mispredict := false
 		endGroup := false
 		if inst.Class == trace.Branch {
 			act.BPredAccesses++
 			if sp != nil {
-				sp.Lap(obs.StageCPUFetch)
+				sp.LapN(obs.StageCPUFetch, scale)
 			}
 			pred := c.bp.Predict(inst.PC)
 			correct := c.bp.Update(inst.PC, inst.Taken)
 			if sp != nil {
-				sp.Lap(obs.StageBPred)
+				sp.LapN(obs.StageBPred, scale)
 			}
-			fe.mispredict = !correct
-			if fe.mispredict {
+			mispredict = !correct
+			if mispredict {
 				c.blockState = blockWaitDispatch
 				endGroup = true
 			} else if pred {
@@ -725,8 +1042,13 @@ func (c *Core) fetch(gateFrac float64, act *Activity, sp *obs.StageProfiler) {
 				endGroup = true
 			}
 		}
-		tailIdx := (c.ifqHead + c.ifqCount) % c.cfg.IFQSize
-		c.ifq[tailIdx] = fe
+		tailIdx := (c.ifqHead + c.ifqCount) & c.ifqMask
+		c.ifqClass[tailIdx] = inst.Class
+		c.ifqDst[tailIdx] = inst.Dst
+		c.ifqSrc1[tailIdx] = inst.Src1
+		c.ifqSrc2[tailIdx] = inst.Src2
+		c.ifqAddr[tailIdx] = inst.Addr
+		c.ifqMispred[tailIdx] = mispredict
 		c.ifqCount++
 		act.Fetched++
 		if endGroup {

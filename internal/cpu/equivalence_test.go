@@ -1,0 +1,134 @@
+package cpu
+
+import (
+	"testing"
+
+	"hybriddtm/internal/trace"
+)
+
+// chunk is one DTM-visible run segment: the coupled loop calls RunGated in
+// thermal-step-sized chunks with whatever gates the policy chose, so the
+// equivalence harness replays realistic chunk schedules rather than one
+// monolithic run.
+type chunk struct {
+	n     uint64
+	gates Gates
+	ratio float64 // SetFrequencyRatio before the chunk; 0 = leave alone
+}
+
+// runSchedule drives a core through the schedule, returning the per-chunk
+// activity deltas plus the core for terminal-state inspection.
+func runSchedule(t *testing.T, p trace.Profile, reference bool, sched []chunk) ([]Activity, *Core) {
+	t.Helper()
+	g, err := trace.NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(DefaultConfig(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.UseReferencePipeline(reference)
+	acts := make([]Activity, len(sched))
+	for i, ch := range sched {
+		if ch.ratio != 0 {
+			if err := c.SetFrequencyRatio(ch.ratio); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.RunGated(ch.n, ch.gates, &acts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acts, c
+}
+
+// diffSchedules runs the same profile and schedule through the reference
+// (cycle-at-a-time) and batched pipelines and requires counter-for-counter
+// identical behavior: every Activity field of every chunk, plus the
+// terminal cycle/commit/in-flight state.
+func diffSchedules(t *testing.T, name string, p trace.Profile, sched []chunk) {
+	t.Helper()
+	ref, cRef := runSchedule(t, p, true, sched)
+	bat, cBat := runSchedule(t, p, false, sched)
+	for i := range sched {
+		if ref[i] != bat[i] {
+			t.Errorf("%s chunk %d (gates %+v): batched diverged from reference\nref: %+v\nbat: %+v",
+				name, i, sched[i].gates, ref[i], bat[i])
+		}
+	}
+	if cRef.Cycle() != cBat.Cycle() || cRef.Committed() != cBat.Committed() || cRef.InFlight() != cBat.InFlight() {
+		t.Errorf("%s terminal state diverged: cycle %d/%d committed %d/%d inflight %d/%d",
+			name, cRef.Cycle(), cBat.Cycle(), cRef.Committed(), cBat.Committed(), cRef.InFlight(), cBat.InFlight())
+	}
+}
+
+// TestScalarBatchedEquivalence is the golden equivalence harness for the
+// batched kernels: across workload archetypes (predictable, hostile
+// branches, memory-bound, FP-heavy) and gate schedules spanning every
+// kernel path (ungated, fetch-gated at the paper's duty levels, issue
+// gating, DVS frequency changes mid-run), the batched pipeline must match
+// the reference loop exactly. Any bit of drift in any counter fails.
+func TestScalarBatchedEquivalence(t *testing.T) {
+	steady := func(n int, g Gates) []chunk {
+		s := make([]chunk, n)
+		for i := range s {
+			s[i] = chunk{n: 10_000, gates: g}
+		}
+		return s
+	}
+
+	memBound := testProfile()
+	memBound.SpillProb = 0.2
+	memBound.ColdFootprint = 64 << 20
+
+	hostile := testProfile()
+	hostile.PatternedFrac = 0
+
+	fpHeavy := testProfile()
+	fpHeavy.Mix.FPAdd, fpHeavy.Mix.FPMul = 0.25, 0.20
+
+	// A policy-like schedule: idle, then ramping fetch gates, a DVS drop,
+	// severe gating, recovery — odd chunk sizes to exercise batch tails.
+	policyLike := []chunk{
+		{n: 10_000}, {n: 9_973},
+		{n: 10_000, gates: Gates{Fetch: 0.05}},
+		{n: 10_000, gates: Gates{Fetch: 1.0 / 3}},
+		{n: 7_001, gates: Gates{Fetch: 2.0 / 3}, ratio: 0.5},
+		{n: 10_000, gates: Gates{Fetch: 2.0 / 3}},
+		{n: 10_000, gates: Gates{Fetch: 0.05}, ratio: 1.0},
+		{n: 13_999},
+	}
+
+	cases := []struct {
+		name  string
+		prof  trace.Profile
+		sched []chunk
+	}{
+		{"ungated", testProfile(), steady(6, Gates{})},
+		{"fetch-mild", testProfile(), steady(6, Gates{Fetch: 0.05})},
+		{"fetch-severe", testProfile(), steady(6, Gates{Fetch: 2.0 / 3})},
+		{"issue-gates", testProfile(), steady(6, Gates{Int: 0.85, Mem: 0.5})},
+		{"mem-bound", memBound, steady(6, Gates{})},
+		{"mem-bound-gated", memBound, steady(6, Gates{Fetch: 0.5})},
+		{"hostile-branches", hostile, steady(6, Gates{})},
+		{"fp-heavy", fpHeavy, steady(6, Gates{})},
+		{"policy-like", testProfile(), policyLike},
+		{"policy-like-mem", memBound, policyLike},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diffSchedules(t, tc.name, tc.prof, tc.sched)
+		})
+	}
+}
+
+// TestBatchedLongRunEquivalence covers a long uninterrupted run, where idle
+// fast-forward and the minReady skip see their deepest stretches.
+func TestBatchedLongRunEquivalence(t *testing.T) {
+	diffSchedules(t, "long", testProfile(), []chunk{{n: 1_000_000}})
+	p := testProfile()
+	p.SpillProb = 0.3
+	p.ColdFootprint = 64 << 20
+	diffSchedules(t, "long-memory", p, []chunk{{n: 1_000_000, gates: Gates{Fetch: 0.5}}})
+}

@@ -1,0 +1,106 @@
+package cpu
+
+import (
+	"testing"
+
+	"hybriddtm/internal/trace"
+)
+
+// FuzzCoreRun throws randomized workload mixes and gate schedules at the
+// pipeline and checks (a) structural invariants that must hold for any
+// input, and (b) that the batched kernels remain counter-for-counter
+// identical to the cycle-at-a-time reference loop. The seed corpus spans
+// the benchmark suite's instruction mixes plus adversarial corners
+// (all-FP, branch-hostile, memory-thrashing).
+func FuzzCoreRun(f *testing.F) {
+	// Corpus rows: seed, mix percentages, dep-distance/indep knobs,
+	// branch-pattern knob, spill knob, gate bytes (fetch, int, fp, mem).
+	add := func(seed uint64, load, store, branch, fpadd, fpmul, intmul, dep, indep, pat, spill, gF, gI, gFP, gM byte) {
+		f.Add(seed, load, store, branch, fpadd, fpmul, intmul, dep, indep, pat, spill, gF, gI, gFP, gM)
+	}
+	add(7, 24, 10, 12, 5, 4, 1, 35, 25, 92, 1, 0, 0, 0, 0)    // cputest profile, ungated
+	add(1, 22, 9, 8, 16, 12, 1, 40, 20, 90, 2, 33, 0, 0, 0)   // FP-ish suite mix, 1/3 fetch gate
+	add(2, 26, 11, 15, 0, 0, 1, 20, 10, 95, 0, 66, 0, 0, 0)   // int/branchy, severe gate
+	add(3, 29, 14, 12, 0, 0, 1, 50, 30, 0, 20, 0, 85, 0, 50)  // hostile branches + issue gates
+	add(4, 24, 8, 7, 22, 16, 0, 60, 40, 99, 5, 5, 0, 85, 0)   // FP-heavy, mild fetch + FP gate
+	add(5, 40, 20, 0, 0, 0, 0, 15, 0, 50, 30, 50, 50, 50, 50) // load/store storm, everything gated
+	f.Fuzz(func(t *testing.T, seed uint64, load, store, branch, fpadd, fpmul, intmul, dep, indep, pat, spill, gF, gI, gFP, gM byte) {
+		// Map raw bytes onto a valid profile: mix percentages normalized to
+		// leave at least a 20% IntALU remainder, knobs clamped into their
+		// validated ranges.
+		mv := [6]float64{float64(load), float64(store), float64(branch), float64(fpadd), float64(fpmul), float64(intmul)}
+		tot := 0.0
+		for _, v := range mv {
+			tot += v
+		}
+		denom := tot * 1.25
+		if denom < 100 {
+			denom = 100
+		}
+		p := trace.Profile{
+			Name: "fuzz", Seed: seed,
+			Mix: trace.Mix{
+				Load: mv[0] / denom, Store: mv[1] / denom, Branch: mv[2] / denom,
+				FPAdd: mv[3] / denom, FPMul: mv[4] / denom, IntMul: mv[5] / denom,
+			},
+			MeanDepDist:   1.5 + float64(dep%100)/10,
+			IndepFrac:     float64(indep%50) / 100,
+			PatternedFrac: float64(pat%101) / 100,
+			PatternedBias: 0.97,
+			BranchSites:   128,
+			CodeFootprint: 48 << 10,
+			DataResident:  40 << 10,
+			SpillProb:     float64(spill%30) / 100,
+			ColdFootprint: 2 << 20,
+		}
+		if err := p.Validate(); err != nil {
+			t.Skip(err)
+		}
+		gate := func(b byte) float64 { return float64(b%90) / 100 }
+		sched := []chunk{
+			{n: 8_000},
+			{n: 8_000, gates: Gates{Fetch: gate(gF)}},
+			{n: 8_000, gates: Gates{Fetch: gate(gF), Int: gate(gI), FP: gate(gFP), Mem: gate(gM)}},
+			{n: 8_000, gates: Gates{Int: gate(gI), Mem: gate(gM)}},
+		}
+
+		ref, cRef := runSchedule(t, p, true, sched)
+		bat, cBat := runSchedule(t, p, false, sched)
+
+		var want uint64
+		var cum Activity
+		for i, ch := range sched {
+			want += ch.n
+			// Differential: batched == reference, chunk by chunk.
+			if ref[i] != bat[i] {
+				t.Fatalf("chunk %d diverged\nref: %+v\nbat: %+v", i, ref[i], bat[i])
+			}
+			a := bat[i]
+			if a.Cycles != ch.n {
+				t.Errorf("chunk %d: %d cycles elapsed, want %d", i, a.Cycles, ch.n)
+			}
+			if a.GatedCycles > a.Cycles {
+				t.Errorf("chunk %d: gated %d > cycles %d", i, a.GatedCycles, a.Cycles)
+			}
+			// Structural invariants hold cumulatively (work dispatched in an
+			// earlier chunk may commit in a later one, so per-chunk deltas
+			// can legitimately invert).
+			cum.Add(&a)
+			disp := cum.IntDispatched + cum.FPDispatched + cum.MemDispatched
+			if cum.Committed > disp {
+				t.Errorf("after chunk %d: committed %d > dispatched %d", i, cum.Committed, disp)
+			}
+			if disp > cum.Fetched {
+				t.Errorf("after chunk %d: dispatched %d > fetched %d", i, disp, cum.Fetched)
+			}
+		}
+		for _, c := range []*Core{cRef, cBat} {
+			if c.Cycle() != want {
+				t.Errorf("cycle counter %d not monotonic sum of chunks %d", c.Cycle(), want)
+			}
+			if bound := uint64(c.Config().ROBSize + c.Config().IFQSize); c.InFlight() > bound {
+				t.Errorf("in-flight %d exceeds ROB+IFQ %d", c.InFlight(), bound)
+			}
+		}
+	})
+}

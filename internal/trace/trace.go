@@ -181,9 +181,11 @@ func (x *xorshift64) next() uint64 {
 	return s * 0x2545F4914F6CDD1D
 }
 
-// float64v returns a uniform float in [0,1).
+// float64v returns a uniform float in [0,1). Multiplying by the exact
+// reciprocal of 2^53 (a power of two, so exactly representable) produces
+// the identical value to dividing by 2^53.
 func (x *xorshift64) float64v() float64 {
-	return float64(x.next()>>11) / (1 << 53)
+	return float64(x.next()>>11) * (1.0 / (1 << 53))
 }
 
 // intn returns a uniform int in [0,n).
@@ -224,6 +226,12 @@ type Generator struct {
 	depTable   [1024]uint8
 	loopTarget uint64 // current loop-back address for taken branches
 	loopLeft   int    // iterations left before picking a new loop
+
+	// mixT holds the cumulative class thresholds of the mix, precomputed
+	// at construction with the same left-to-right additions the class
+	// switch used to perform per instruction, so the comparisons are
+	// bit-identical to the original cascading sums.
+	mixT [6]float64
 }
 
 // NewGenerator builds a generator; the stream it produces is a pure
@@ -239,6 +247,12 @@ func NewGenerator(p Profile) (*Generator, error) {
 		dataBase: 0x1000_0000,
 		coldBase: 0x4000_0000,
 	}
+	g.mixT[0] = p.Mix.Load
+	g.mixT[1] = p.Mix.Load + p.Mix.Store
+	g.mixT[2] = p.Mix.Load + p.Mix.Store + p.Mix.Branch
+	g.mixT[3] = p.Mix.Load + p.Mix.Store + p.Mix.Branch + p.Mix.FPAdd
+	g.mixT[4] = p.Mix.Load + p.Mix.Store + p.Mix.Branch + p.Mix.FPAdd + p.Mix.FPMul
+	g.mixT[5] = p.Mix.total()
 	g.pc = g.codeBase
 	for i := range g.dstHist {
 		g.dstHist[i] = uint8(i % 32)
@@ -329,17 +343,17 @@ func (g *Generator) Next(inst *Inst) {
 	r := g.rng.float64v()
 	var class Class
 	switch {
-	case r < p.Mix.Load:
+	case r < g.mixT[0]:
 		class = Load
-	case r < p.Mix.Load+p.Mix.Store:
+	case r < g.mixT[1]:
 		class = Store
-	case r < p.Mix.Load+p.Mix.Store+p.Mix.Branch:
+	case r < g.mixT[2]:
 		class = Branch
-	case r < p.Mix.Load+p.Mix.Store+p.Mix.Branch+p.Mix.FPAdd:
+	case r < g.mixT[3]:
 		class = FPAdd
-	case r < p.Mix.Load+p.Mix.Store+p.Mix.Branch+p.Mix.FPAdd+p.Mix.FPMul:
+	case r < g.mixT[4]:
 		class = FPMul
-	case r < p.Mix.total():
+	case r < g.mixT[5]:
 		class = IntMul
 	default:
 		class = IntALU
